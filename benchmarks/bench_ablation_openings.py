@@ -1,0 +1,68 @@
+"""E14 (ablation) — robust openings: Berlekamp–Welch vs naive t+1 trust.
+
+DESIGN.md §6 calls out robust opening as a load-bearing design choice.
+Claims regenerated:
+
+* with error-corrected openings, a wrong-share adversary changes nothing —
+  honest players agree on the mediator's coin;
+* with naive first-t+1 interpolation, the same adversary corrupts openings:
+  honest players decode garbage / disagree in a visible fraction of runs.
+"""
+
+from conftest import report
+
+from repro.analysis.deviations import ct_lying_shares
+from repro.cheaptalk.game import CheapTalkGame
+from repro.games.library import consensus_game
+from repro.sim import FifoScheduler
+
+
+def run_variant(naive: bool, seeds, spec, liar):
+    corrupted = 0
+    for seed in seeds:
+        game = CheapTalkGame(spec, 1, 0, mode="bcg")
+        if naive:
+            # Inject the ablation flag into every host's config.
+            original = game.player_config
+
+            def patched(setup, pid, own_type, _orig=original):
+                config = _orig(setup, pid, own_type)
+                config["naive_openings"] = True
+                return config
+
+            game.player_config = patched
+        run = game.run(
+            (0,) * spec.game.n, FifoScheduler(), seed=seed,
+            deviations={liar: ct_lying_shares(spec)},
+        )
+        honest = list(range(liar + 1, spec.game.n))
+        moved = [p for p in honest if p in run.result.outputs]
+        decoded = [run.actions[p] for p in honest]
+        if len(moved) != len(honest) or len(set(decoded)) != 1 \
+                or decoded[0] not in (0, 1):
+            corrupted += 1
+    return corrupted
+
+
+def test_robust_vs_naive_openings(benchmark):
+    rows = []
+    spec = consensus_game(5)
+    liar = 0  # lowest pid: naive reconstruction trusts its share first
+    seeds = range(12)
+
+    robust_bad = run_variant(False, seeds, spec, liar)
+    naive_bad = run_variant(True, seeds, spec, liar)
+    rows.append(
+        f"error-corrected openings: corrupted runs {robust_bad}/12 "
+        f"(wrong shares decoded away)"
+    )
+    rows.append(
+        f"naive first-t+1 openings: corrupted runs {naive_bad}/12 "
+        f"(adversary's share poisons reconstruction)"
+    )
+    assert robust_bad == 0
+    assert naive_bad > 0
+    report("E14 ablation: robust vs naive openings", rows)
+
+    game = CheapTalkGame(spec, 1, 0, mode="bcg")
+    benchmark(lambda: game.run((0,) * 5, FifoScheduler(), seed=99))

@@ -1,0 +1,55 @@
+"""E12 — Propositions 6.1/6.2: adversary–environment coordination.
+
+Claims regenerated:
+* deviators can signal the environment through observable self-message
+  counts (Section 6.1's covert channel) — the colluding environment
+  reliably decodes the signal;
+* against a (k,t)-robust profile, even a colluding environment adds
+  nothing: the robust cheap-talk profile's payoff is unchanged when the
+  coalition signals and the environment colludes (the Section 6.4 leaky
+  profile is the non-robust contrast, covered by E5/E6).
+"""
+
+from statistics import mean
+
+from conftest import report
+
+from repro.analysis.section64 import ColludingScheduler
+from repro.cheaptalk import compile_theorem41
+from repro.games.library import consensus_game
+from repro.sim import FifoScheduler
+from repro.sim.network import MessageView
+
+
+def test_covert_channel_decodes(benchmark):
+    rows = []
+    # The scheduler observes only (sender, recipient) metadata; a deviator
+    # encodes a bit by sending itself exactly that many messages.
+    sched = ColludingScheduler((3,))
+    sched.reset(0)
+    silent = [MessageView(uid=1, sender=0, recipient=1, send_step=0, batch=1)]
+    assert sched.choose(silent, 0) is not None
+    signalled = silent + [
+        MessageView(uid=2, sender=3, recipient=3, send_step=0, batch=2)
+    ]
+    assert sched.choose(signalled, 1) is None
+    rows.append("covert channel: environment decodes coalition self-messages")
+
+    # Robust profile: colluding environment gains the coalition nothing.
+    spec = consensus_game(9)
+    proto = compile_theorem41(spec, 1, 1)
+    types = (0,) * 9
+    benign, colluding = [], []
+    for seed in range(8):
+        run_b = proto.game.run(types, FifoScheduler(), seed=seed)
+        benign.append(spec.game.utility(types, run_b.actions)[0])
+        run_c = proto.game.run(types, ColludingScheduler(()), seed=seed)
+        colluding.append(spec.game.utility(types, run_c.actions)[0])
+    rows.append(
+        f"robust profile payoffs: benign={mean(benign):.3f} "
+        f"colluding={mean(colluding):.3f} (no edge for the environment)"
+    )
+    assert abs(mean(benign) - mean(colluding)) < 0.35
+    report("E12 adversary-environment coordination (Props 6.1/6.2)", rows)
+
+    benchmark(lambda: proto.game.run(types, FifoScheduler(), seed=99))

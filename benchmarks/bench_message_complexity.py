@@ -1,0 +1,75 @@
+"""E9 — Message complexity O(nNc): scaling in n and in circuit size c.
+
+Claims regenerated (Theorem 4.1's accounting):
+* at fixed circuit, messages grow polynomially (≈ quadratically per
+  opening times circuit size) in n — we print the measured series and the
+  successive growth ratios;
+* at fixed n, messages grow linearly in the number of multiplication
+  gates c (each multiplication costs two public openings).
+"""
+
+from conftest import report
+
+from repro.cheaptalk.game import CheapTalkGame
+from repro.circuits import Circuit
+from repro.field import GF, DEFAULT_PRIME
+from repro.games.library import consensus_game
+from repro.sim import FifoScheduler
+
+F = GF(DEFAULT_PRIME)
+
+
+def chained_circuit(n: int, muls: int) -> Circuit:
+    """A coin followed by a chain of ``muls`` multiplications."""
+    c = Circuit(F, f"chain({muls})")
+    bit = c.randbit()
+    acc = bit
+    for _ in range(muls):
+        acc = c.mul(acc, bit)
+    for pid in range(n):
+        c.output(acc, pid, f"act@{pid}")
+    return c
+
+
+def run_messages(n: int, muls: int, seed: int = 0) -> int:
+    spec = consensus_game(n)
+    game = CheapTalkGame(
+        spec, 1, 1, mode="bcg", circuit=chained_circuit(n, muls)
+    )
+    run = game.run((0,) * n, FifoScheduler(), seed=seed)
+    assert len(set(run.actions)) == 1
+    return run.message_count()
+
+
+def test_scaling_in_n(benchmark):
+    rows = []
+    series = []
+    for n in (9, 11, 13):
+        msgs = run_messages(n, muls=2)
+        series.append((n, msgs))
+        rows.append(f"c fixed (2 muls): n={n:>2} messages={msgs:>6}")
+    for (n1, m1), (n2, m2) in zip(series, series[1:]):
+        rows.append(
+            f"growth n {n1}->{n2}: x{m2 / m1:.2f} "
+            f"(n^2 ratio would be x{(n2 / n1) ** 2:.2f})"
+        )
+
+    mul_series = []
+    for muls in (1, 4, 8, 16):
+        msgs = run_messages(9, muls)
+        mul_series.append((muls, msgs))
+        rows.append(f"n fixed (9): c={muls:>2} muls messages={msgs:>6}")
+    # Linear in c: per-mul increment roughly constant.
+    increments = [
+        (m2 - m1) / (c2 - c1)
+        for (c1, m1), (c2, m2) in zip(mul_series, mul_series[1:])
+    ]
+    rows.append(
+        "per-multiplication message cost: "
+        + ", ".join(f"{inc:.0f}" for inc in increments)
+    )
+    spread = max(increments) - min(increments)
+    assert spread <= 0.5 * max(increments)  # near-constant slope = linear
+
+    report("E9 message complexity O(nNc)", rows)
+    benchmark(lambda: run_messages(9, 2, seed=5))

@@ -1,0 +1,57 @@
+"""E10 — Solution concepts (Definitions 3.1–3.6) on the game library.
+
+Claims regenerated:
+* the exact checkers certify the library's intended equilibria
+  (k-resilience / t-immunity / (k,t)-robustness and ideal-mediator
+  robustness) and reject the intended counterexamples;
+* checker cost is practical (the benchmark times the robustness check).
+"""
+
+from conftest import report
+
+from repro.games import (
+    ConstantStrategy,
+    StrategyProfile,
+    check_kt_robust,
+    check_punishment_strategy,
+)
+from repro.games.library import chicken_game, consensus_game, section64_game
+from repro.mediator import check_ideal_mediator_robustness
+from repro.mediator.ideal import check_ideal_k_resilience
+
+
+def test_solution_concepts(benchmark):
+    rows = []
+
+    spec = consensus_game(5)
+    all_zero = StrategyProfile([ConstantStrategy(0)] * 5)
+    rob = check_kt_robust(spec.game, all_zero, k=1, t=1)
+    rows.append(f"consensus(5) all-0 underlying (1,1)-robust: {rob.holds} "
+                f"({rob.checks} checks)")
+    assert rob.holds
+
+    ideal = check_ideal_mediator_robustness(spec, k=1, t=1)
+    rows.append(f"consensus(5) ideal mediator (1,1)-robust: {ideal.holds} "
+                f"({ideal.checks} checks)")
+    assert ideal.holds
+
+    s64 = section64_game(4, k=1)
+    ok1 = check_ideal_k_resilience(s64, 1).holds
+    ok2 = check_ideal_k_resilience(s64, 2).holds
+    rows.append(f"section64(4) ideal 1-resilient: {ok1}; 2-resilient: {ok2}")
+    assert ok1 and not ok2
+
+    pun = check_punishment_strategy(
+        s64.game, s64.punishment, m=1, equilibrium_payoff=lambda i, x: 1.5
+    )
+    rows.append(f"section64(4) all-⊥ is a 1-punishment: {pun.holds} "
+                f"(margin {pun.margin:.2f})")
+    assert pun.holds
+
+    chick = chicken_game()
+    ce = check_ideal_k_resilience(chick, 1)
+    rows.append(f"chicken correlated equilibrium obedient: {ce.holds}")
+    assert ce.holds
+
+    report("E10 solution concepts (Defs 3.1-3.6)", rows)
+    benchmark(lambda: check_kt_robust(spec.game, all_zero, k=1, t=1))

@@ -1,0 +1,45 @@
+"""E2 — Theorem 4.2: ε-implementation at n > 3k + 3t.
+
+Claims regenerated:
+* the bound drops from 4k+4t to 3k+3t when ε error is allowed;
+* ε is controlled by the MAC field size (forgery probability 2/p,
+  union-bounded over the run's MAC checks);
+* honest outcomes still coordinate; a liar is rejected by MACs.
+"""
+
+from conftest import report
+
+from repro.analysis.deviations import ct_lying_shares
+from repro.cheaptalk import compile_theorem42
+from repro.field import GF
+from repro.games.library import consensus_game
+from repro.sim import FifoScheduler
+
+
+def test_theorem42_epsilon_sweep(benchmark):
+    rows = []
+    n, k, t = 7, 1, 1
+    spec = consensus_game(n)
+    for epsilon in (0.5, 0.05, 1e-3, 1e-9):
+        proto = compile_theorem42(spec, k, t, epsilon=epsilon)
+        run = proto.game.run((0,) * n, FifoScheduler(), seed=1)
+        agreed = len(set(run.actions)) == 1
+        rows.append(
+            f"requested ε={epsilon:<8.2g} field=GF({proto.game.field.p:<8}) "
+            f"achieved ε={proto.epsilon_achieved:.3g} agreed={agreed}"
+        )
+        assert agreed
+
+    proto = compile_theorem42(spec, k, t, epsilon=0.05)
+    liar = proto.game.run(
+        (0,) * n, FifoScheduler(), seed=2,
+        deviations={6: ct_lying_shares(spec)},
+    )
+    rows.append(
+        f"with MAC-rejected liar: honest agreed="
+        f"{len(set(liar.actions[:6])) == 1}"
+    )
+    assert len(set(liar.actions[:6])) == 1
+    report("E2 Theorem 4.2 (n > 3k+3t, ε error via field size)", rows)
+
+    benchmark(lambda: proto.game.run((0,) * n, FifoScheduler(), seed=3))

@@ -1,0 +1,74 @@
+"""E7 — Theorems 5.4/5.5: cotermination, emulation, bisimulation.
+
+Claims regenerated over a finite adversary/environment family:
+* t-cotermination: in every run, either all honest players move or none;
+* (ε,t)-emulation / bisimulation: cheap-talk outcome maps match the
+  mediator game's under paired adversaries, within ε plus sampling noise.
+"""
+
+from conftest import report
+
+from repro.analysis.deviations import crash, ct_crash, ct_stall_after
+from repro.cheaptalk import (
+    check_bisimulation,
+    check_cotermination,
+    check_emulation,
+    compile_theorem41,
+)
+from repro.games.library import consensus_game
+from repro.mediator import MediatorGame
+from repro.sim import FifoScheduler, RandomScheduler
+
+
+def test_properties(benchmark):
+    rows = []
+    spec = consensus_game(9)
+    proto = compile_theorem41(spec, 1, 1)
+    mediator = MediatorGame(spec, 1, 1)
+    schedulers = [FifoScheduler(), RandomScheduler(5)]
+
+    coterm = check_cotermination(
+        proto.game,
+        schedulers=schedulers,
+        adversaries=[
+            None,
+            {8: ct_crash()},
+            {7: ct_crash(), 8: ct_crash()},
+            {8: ct_stall_after(spec, limit=5)},
+        ],
+        trials=2,
+    )
+    rows.append(f"t-cotermination over 4 adversaries x 2 envs: holds={coterm.holds}")
+    assert coterm.holds
+
+    pairs = [
+        (None, None),
+        ({8: ct_crash()}, {8: crash()}),
+    ]
+    emu = check_emulation(
+        proto.game, mediator, schedulers, pairs, epsilon=0.0,
+        samples_per_scheduler=6,
+    )
+    rows.append(
+        f"(0,t)-emulation worst outcome distance: {emu.worst:.3f} "
+        f"(tolerance-adjusted holds={emu.holds})"
+    )
+    assert emu.holds
+
+    bisim = check_bisimulation(
+        proto.game, mediator, schedulers, pairs, epsilon=0.0,
+        samples_per_scheduler=6,
+    )
+    rows.append(
+        f"(0,t)-bisimulation worst distance: {bisim.worst:.3f} "
+        f"holds={bisim.holds}"
+    )
+    assert bisim.holds
+    report("E7 Theorems 5.4/5.5 (cotermination, emulation, bisimulation)", rows)
+
+    benchmark(
+        lambda: check_cotermination(
+            proto.game, schedulers=[FifoScheduler()], adversaries=[None],
+            trials=1,
+        )
+    )

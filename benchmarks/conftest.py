@@ -1,0 +1,33 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every module under ``benchmarks/`` regenerates one experiment from the
+DESIGN.md per-experiment index (the paper has no numbered tables/figures;
+each theorem/proposition/example is an experiment). Benchmarks print their
+result rows through :func:`report`, which also appends them to
+``benchmarks/results.txt`` so a ``--benchmark-only`` run leaves a record.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def report(experiment: str, rows: list[str]) -> None:
+    """Print experiment rows and append them to the results file."""
+    banner = f"== {experiment} =="
+    lines = [banner] + [f"  {row}" for row in rows]
+    text = "\n".join(lines)
+    print("\n" + text)
+    with open(RESULTS_PATH, "a") as fh:
+        fh.write(text + "\n")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    if os.path.exists(RESULTS_PATH):
+        os.remove(RESULTS_PATH)
+    yield

@@ -1,0 +1,61 @@
+"""The Section 6.4 counterexample: why mediators must be minimally informative.
+
+The {0,1,⊥} game: the mediator recommends a common random bit b (payoff 1
+if b=0, 2 if b=1; expected 1.5), and all-⊥ is a punishment giving 1.1. The
+paper's *leaky* mediator also tells player i the value a + b·i (mod 2).
+A coalition {i, j} with i − j odd pools its leaks, learns b early, and —
+exactly when b = 0 — engineers a deadlock (with a colluding environment),
+so every honest will executes the ⊥ punishment and the coalition pockets
+1.1 instead of 1.0.
+
+Against the minimally informative transform f(σ_d) (Lemma 6.8) the same
+machinery earns nothing: there is no leak to condition on.
+
+Run:  python examples/punishment_counterexample.py
+"""
+
+from statistics import mean
+
+from repro.analysis.section64 import run_attack
+from repro.games.library import section64_game
+from repro.mediator import LeakySection64Mediator, MediatorGame, minimally_informative
+from repro.sim import FifoScheduler
+
+
+def main() -> None:
+    n, k = 7, 2
+    spec = section64_game(n, k=k)
+    coalition = (0, 1)  # difference is odd
+    print(f"Game: {spec.name}; coalition {coalition}; equilibrium payoff 1.5")
+
+    leaky = MediatorGame(
+        spec, k, 0, approach="ah",
+        will=lambda pid, ty: "⊥",
+        mediator_factory=lambda: LeakySection64Mediator(spec, k, 0),
+    )
+
+    honest = leaky.run((0,) * n, FifoScheduler(), seed=0)
+    print(f"\nHonest play under the leaky mediator: {honest.actions}")
+
+    attacked = run_attack(leaky, coalition, runs=40)
+    print(
+        f"Attack vs LEAKY mediator:   payoffs {sorted(set(attacked))} "
+        f"(mean {mean(attacked):.3f} > 1.5 — the equilibrium is broken)"
+    )
+
+    minimal = minimally_informative(leaky, rounds=2)
+    defended = run_attack(minimal, coalition, runs=40)
+    print(
+        f"Attack vs MINIMAL mediator: payoffs {sorted(set(defended))} "
+        f"(mean {mean(defended):.3f} — no conditioning, no profit)"
+    )
+
+    print(
+        "\nThe coalition converts every b=0 run into the 1.1 punishment"
+        "\noutcome when the mediator leaks, and cannot distinguish b at all"
+        "\nonce the mediator is minimally informative (Lemma 6.8)."
+    )
+
+
+if __name__ == "__main__":
+    main()

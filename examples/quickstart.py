@@ -1,0 +1,49 @@
+"""Quickstart: implement a mediator with asynchronous cheap talk.
+
+We take the consensus coordination game — players are paid for matching
+the majority action, and a trusted mediator would fix the symmetry by
+recommending a common random bit — and replace the mediator with the
+paper's Theorem 4.1 cheap-talk protocol (n > 4k + 4t, errorless).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cheaptalk import compile_theorem41
+from repro.games.library import consensus_game
+from repro.mediator import MediatorGame
+from repro.sim import scheduler_zoo
+
+
+def main() -> None:
+    n, k, t = 9, 1, 1
+    spec = consensus_game(n)
+
+    print(f"Game: {spec.name} — {spec.notes}")
+    print(f"Robustness target: ({k},{t})-robust, n = {n} > 4k+4t = {4*k+4*t}")
+
+    # --- the mediator game (the ideal world) -----------------------------
+    mediator = MediatorGame(spec, k, t)
+    med_run = mediator.run((0,) * n, scheduler_zoo(seed=1)[0], seed=7)
+    print(f"\nWith the trusted mediator: actions = {med_run.actions}")
+    print(f"  messages used: {med_run.message_count()}")
+
+    # --- the cheap-talk implementation (no mediator) ---------------------
+    protocol = compile_theorem41(spec, k, t)
+    print(f"\nCompiled: {protocol.describe()}")
+
+    for scheduler in scheduler_zoo(seed=3, parties=range(n))[:4]:
+        run = protocol.game.run((0,) * n, scheduler, seed=11)
+        agreed = len(set(run.actions)) == 1
+        print(
+            f"  scheduler {scheduler.name:<14} actions={run.actions} "
+            f"agreed={agreed} messages={run.message_count()}"
+        )
+
+    payoff = spec.game.utility((0,) * n, run.actions)
+    print(f"\nPayoffs under the last run: {payoff}")
+    print("Every environment yields a coordinated profile — the cheap talk")
+    print("implements the mediator without any trusted party.")
+
+
+if __name__ == "__main__":
+    main()

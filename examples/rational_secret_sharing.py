@@ -1,0 +1,54 @@
+"""Rational secret reconstruction via asynchronous cheap talk.
+
+Players hold Shamir shares of a secret (their types); guessing the secret
+pays 1, with a 0.5 bonus for being right while someone else is wrong — the
+classic exclusivity incentive that makes naive reconstruction protocols
+collapse. A mediator solves it: everyone reports its share, the mediator
+error-corrects and recommends the secret. Here we run that mediator and
+its Theorem 4.2 cheap-talk implementation (n > 3k + 3t, ε error), showing
+the secret is recovered without any player ever seeing another's share in
+the clear.
+
+Run:  python examples/rational_secret_sharing.py
+"""
+
+from repro.cheaptalk import compile_theorem42
+from repro.games.library import shamir_secret_game
+from repro.mediator import MediatorGame
+from repro.sim import FifoScheduler, RandomScheduler
+
+
+def main() -> None:
+    spec = shamir_secret_game(n=5, modulus=5, degree=2)
+    k, t = 1, 0  # n = 5 > 3k + 3t = 3
+    print(f"Game: {spec.name}")
+
+    # Pick an interesting share profile from the type space.
+    types = spec.game.type_space.profiles()[123]
+    import random
+
+    secret = spec.mediator_fn(types, random.Random(0))[0]
+    print(f"Dealt shares: {types} (secret = {secret})")
+
+    mediator = MediatorGame(spec, k, t)
+    med = mediator.run(types, FifoScheduler(), seed=0)
+    print(f"Mediator recommends: {med.actions}")
+
+    protocol = compile_theorem42(spec, k, t, epsilon=0.01)
+    print(f"Compiled: {protocol.describe()}")
+    for seed in range(3):
+        run = protocol.game.run(types, RandomScheduler(seed), seed=seed)
+        payoffs = spec.game.utility(types, run.actions)
+        print(
+            f"  cheap-talk run {seed}: guesses={run.actions} "
+            f"payoffs={payoffs}"
+        )
+
+    print(
+        "\nEvery player recovers the secret through the shared computation;"
+        "\nno subset of k+t players could have computed it alone (degree 2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

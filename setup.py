@@ -1,0 +1,20 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 660 editable installs are unavailable; this file lets
+``pip install -e .`` fall back to ``setup.py develop``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Implementing Mediators with Asynchronous Cheap "
+        "Talk' (Abraham, Dolev, Geffner, Halpern; PODC 2019)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

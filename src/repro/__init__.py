@@ -1,0 +1,85 @@
+"""repro — reproduction of *Implementing Mediators with Asynchronous Cheap Talk*.
+
+Abraham, Dolev, Geffner, Halpern (PODC 2019 / arXiv:1806.01214).
+
+The package implements, from scratch:
+
+* a deterministic asynchronous-network simulator with strategic
+  environments (schedulers), including the paper's *relaxed* schedulers;
+* normal-form Bayesian games and the paper's solution concepts
+  (k-resilience, t-immunity, (k,t)-robustness and their epsilon variants);
+* mediator games with arithmetic-circuit mediators, canonical form, and the
+  Section 6.4 minimally-informative transform;
+* the asynchronous secure-computation substrate (reliable broadcast, ABA,
+  ACS, AVSS, robust Shamir openings, BCG-style t<n/4 and BKR-style t<n/3
+  MPC engines);
+* the cheap-talk compilers of Theorems 4.1, 4.2, 4.4 and 4.5, with both the
+  AH-approach (wills) and default-move semantics for deadlock;
+* analysis tooling: deviation library, empirical robustness checking,
+  implementation distance, t-bisimulation/t-emulation/cotermination checks.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    ReproError,
+    FieldError,
+    DecodingError,
+    SimulationError,
+    GameError,
+    ProtocolError,
+    CheatingDetected,
+    MediatorError,
+    CompilationError,
+)
+
+__all__ = [
+    "ReproError",
+    "FieldError",
+    "DecodingError",
+    "SimulationError",
+    "GameError",
+    "ProtocolError",
+    "CheatingDetected",
+    "MediatorError",
+    "CompilationError",
+    "__version__",
+    "compile_theorem41",
+    "compile_theorem42",
+    "compile_theorem44",
+    "compile_theorem45",
+    "compile_r1",
+    "MediatorGame",
+    "CheapTalkGame",
+    "scheduler_zoo",
+]
+
+
+def __getattr__(name):
+    """Lazy re-exports of the primary API (avoids import cycles at load)."""
+    if name in (
+        "compile_theorem41",
+        "compile_theorem42",
+        "compile_theorem44",
+        "compile_theorem45",
+    ):
+        from repro import cheaptalk
+
+        return getattr(cheaptalk, name)
+    if name == "compile_r1":
+        from repro.cheaptalk.sync import compile_r1
+
+        return compile_r1
+    if name == "CheapTalkGame":
+        from repro.cheaptalk import CheapTalkGame
+
+        return CheapTalkGame
+    if name == "MediatorGame":
+        from repro.mediator import MediatorGame
+
+        return MediatorGame
+    if name == "scheduler_zoo":
+        from repro.sim import scheduler_zoo
+
+        return scheduler_zoo
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,104 @@
+"""Implementation and ε-implementation checking (paper, Section 2).
+
+``σ_CT`` implements ``σ + σ_d`` when the two games induce the same *set* of
+type→Δ(action) maps over all environments. Empirically we compare the maps
+induced by a finite environment family, pooled (for the "sets are equal"
+reading over the family) and per-environment (a stricter diagnostic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.games.outcomes import outcome_map_distance
+from repro.sim import Scheduler
+
+
+@dataclass
+class ImplementationReport:
+    epsilon: float
+    distance: float
+    tolerance: float
+    holds: bool
+    per_scheduler: dict = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def empirical_map(samples: Mapping[tuple, Sequence[tuple]]) -> dict:
+    """Samples ({types: [action profiles]}) -> empirical outcome map."""
+    out = {}
+    for types, rows in samples.items():
+        dist: dict[tuple, float] = {}
+        weight = 1.0 / len(rows)
+        for row in rows:
+            key = tuple(row)
+            dist[key] = dist.get(key, 0.0) + weight
+        out[tuple(types)] = dist
+    return out
+
+
+def implementation_distance(
+    game_a,
+    game_b,
+    schedulers: Sequence[Scheduler],
+    samples_per_scheduler: int = 16,
+    type_profiles: Optional[Sequence[tuple]] = None,
+    seed: int = 0,
+) -> float:
+    """Pooled empirical distance between the two games' outcome maps."""
+    samples_a = game_a.sample_outcomes(
+        schedulers, samples_per_scheduler, type_profiles=type_profiles,
+        seed=seed,
+    )
+    samples_b = game_b.sample_outcomes(
+        schedulers, samples_per_scheduler, type_profiles=type_profiles,
+        seed=seed + 1,
+    )
+    return outcome_map_distance(empirical_map(samples_a), empirical_map(samples_b))
+
+
+def check_implementation(
+    cheap_talk_game,
+    mediator_game,
+    epsilon: float = 0.0,
+    schedulers: Optional[Sequence[Scheduler]] = None,
+    samples_per_scheduler: int = 24,
+    type_profiles: Optional[Sequence[tuple]] = None,
+    seed: int = 0,
+) -> ImplementationReport:
+    """Empirical (ε-)implementation check.
+
+    ``epsilon = 0`` checks plain implementation (distance within sampling
+    tolerance); ``epsilon > 0`` allows the extra ε. Per-scheduler distances
+    are also recorded: under a (k,t)-robust profile they should coincide
+    (scheduler-proofness makes every environment induce the same map).
+    """
+    from repro.sim import scheduler_zoo
+
+    if schedulers is None:
+        schedulers = scheduler_zoo(
+            seed=seed, parties=range(cheap_talk_game.spec.game.n)
+        )
+    pooled = implementation_distance(
+        cheap_talk_game, mediator_game, schedulers,
+        samples_per_scheduler, type_profiles, seed,
+    )
+    per_scheduler = {}
+    for scheduler in schedulers:
+        per_scheduler[scheduler.name] = implementation_distance(
+            cheap_talk_game, mediator_game, [scheduler],
+            samples_per_scheduler, type_profiles, seed,
+        )
+    total_samples = samples_per_scheduler * len(schedulers)
+    tolerance = 3.0 * (4.0 / max(total_samples, 1)) ** 0.5
+    holds = pooled <= epsilon + tolerance
+    return ImplementationReport(
+        epsilon=epsilon,
+        distance=pooled,
+        tolerance=tolerance,
+        holds=holds,
+        per_scheduler=per_scheduler,
+    )

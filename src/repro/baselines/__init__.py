@@ -1,0 +1,5 @@
+"""Baselines the paper compares against."""
+
+from repro.baselines.egl import EglParty, run_egl, expected_messages
+
+__all__ = ["EglParty", "run_egl", "expected_messages"]

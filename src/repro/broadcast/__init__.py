@@ -1,0 +1,24 @@
+"""Asynchronous broadcast-layer protocols: RBC, common coin, ABA, ACS.
+
+All protocols are *sessions* hosted inside a :class:`SessionHost` process,
+so a single simulated player can run many protocol instances concurrently
+(as the MPC engines require).
+"""
+
+from repro.broadcast.base import Session, SessionHost, SESSION_REGISTRY, register_session
+from repro.broadcast.rbc import ReliableBroadcast
+from repro.broadcast.coin import CommonCoin, coin_value
+from repro.broadcast.aba import BinaryAgreement
+from repro.broadcast.acs import CommonSubset
+
+__all__ = [
+    "Session",
+    "SessionHost",
+    "SESSION_REGISTRY",
+    "register_session",
+    "ReliableBroadcast",
+    "CommonCoin",
+    "coin_value",
+    "BinaryAgreement",
+    "CommonSubset",
+]

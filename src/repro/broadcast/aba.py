@@ -1,0 +1,169 @@
+"""Asynchronous binary Byzantine agreement (t < n/3).
+
+The protocol is the Mostéfaoui–Moumen–Raynal (MMR) style binary agreement
+driven by the dealt common coin of :mod:`repro.broadcast.coin`:
+
+Per round ``r`` with current estimate ``est``:
+
+1. *BV-broadcast*: send ``BVAL(r, est)``. Upon ``BVAL(r, v)`` from ``t+1``
+   distinct senders, relay ``BVAL(r, v)`` (at most once per value). Upon
+   ``2t+1`` distinct senders, add ``v`` to ``bin_values[r]`` — every value
+   in ``bin_values`` was proposed by at least one honest party.
+2. *AUX*: once ``bin_values[r]`` is non-empty, send ``AUX(r, w)`` for the
+   first such ``w``. Wait for ``n - t`` AUX messages whose values lie in
+   ``bin_values[r]``; let ``vals`` be the set of those values.
+3. *Coin*: ``c = coin(sid, r)``. If ``vals == {v}``: decide ``v`` when
+   ``v == c``, else set ``est = v``. If ``|vals| == 2``: set ``est = c``.
+   Advance to round ``r + 1``.
+
+Termination gadget: upon deciding, broadcast ``DECIDE(v)``; upon ``t+1``
+``DECIDE(v)`` relay it; upon ``2t+1`` finish. This lets parties that fall
+behind terminate without running further rounds.
+
+Sid shape: ``("aba", tag)``. Input arrives via :meth:`propose` (parents call
+it when their precondition becomes true); messages arriving before the
+local proposal are buffered by the normal state machine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.broadcast.base import Session, register_session
+from repro.broadcast.coin import coin_value
+from repro.errors import ProtocolError
+
+
+def aba_sid(tag: Any) -> tuple:
+    return ("aba", tag)
+
+
+class _Round:
+    """Per-round message state."""
+
+    __slots__ = ("bval_sent", "bval_recv", "bin_values", "bin_order",
+                 "aux_sent", "aux_recv", "advanced")
+
+    def __init__(self) -> None:
+        self.bval_sent: set[int] = set()
+        self.bval_recv: dict[int, set[int]] = {0: set(), 1: set()}
+        self.bin_values: set[int] = set()
+        self.bin_order: list[int] = []
+        self.aux_sent = False
+        self.aux_recv: dict[int, int] = {}
+        self.advanced = False
+
+
+@register_session("aba")
+class BinaryAgreement(Session):
+    """One endpoint of an MMR binary-agreement instance."""
+
+    def __init__(self, host, sid) -> None:
+        super().__init__(host, sid)
+        self.est: Optional[int] = None
+        self.round = 0
+        self.rounds: dict[int, _Round] = {}
+        self.decided: Optional[int] = None
+        self.decide_recv: dict[int, set[int]] = {0: set(), 1: set()}
+        self.decide_sent = False
+
+    def _round(self, r: int) -> _Round:
+        if r not in self.rounds:
+            self.rounds[r] = _Round()
+        return self.rounds[r]
+
+    # -- input -----------------------------------------------------------------
+
+    def propose(self, value: int) -> None:
+        """Supply this party's input bit (idempotent; first call wins)."""
+        if value not in (0, 1):
+            raise ProtocolError(f"ABA input must be a bit, got {value!r}")
+        if self.est is not None:
+            return
+        self.est = value
+        self._send_bval(0, value)
+        self._try_progress(0)
+
+    # -- messaging ---------------------------------------------------------------
+
+    def _send_bval(self, r: int, v: int) -> None:
+        state = self._round(r)
+        if v not in state.bval_sent:
+            state.bval_sent.add(v)
+            self.send_all(("bval", r, v))
+
+    def handle(self, sender: int, payload: Any) -> None:
+        kind = payload[0]
+        if kind == "bval":
+            _, r, v = payload
+            if v not in (0, 1):
+                return
+            state = self._round(r)
+            state.bval_recv[v].add(sender)
+            if len(state.bval_recv[v]) >= self.t + 1:
+                self._send_bval(r, v)  # amplification (safe pre-proposal too)
+            if len(state.bval_recv[v]) >= 2 * self.t + 1:
+                if v not in state.bin_values:
+                    state.bin_values.add(v)
+                    state.bin_order.append(v)
+            self._try_progress(r)
+        elif kind == "aux":
+            _, r, v = payload
+            if v in (0, 1) and sender not in self._round(r).aux_recv:
+                self._round(r).aux_recv[sender] = v
+            self._try_progress(r)
+        elif kind == "decide":
+            _, v = payload
+            if v not in (0, 1):
+                return
+            self.decide_recv[v].add(sender)
+            if len(self.decide_recv[v]) >= self.t + 1:
+                self._broadcast_decide(v)
+            if len(self.decide_recv[v]) >= 2 * self.t + 1:
+                self.decided = v
+                self.finish(v)
+
+    # -- round progression ----------------------------------------------------------
+
+    def _try_progress(self, r: int) -> None:
+        if self.est is None or self.finished or self.decided is not None:
+            return
+        if r != self.round:
+            return
+        state = self._round(r)
+        if not state.aux_sent and state.bin_values:
+            state.aux_sent = True
+            self.send_all(("aux", r, state.bin_order[0]))
+        if not state.aux_sent or state.advanced:
+            return
+        valid = {
+            sender: v
+            for sender, v in state.aux_recv.items()
+            if v in state.bin_values
+        }
+        if len(valid) < self.n - self.t:
+            return
+        vals = set(valid.values())
+        coin = coin_value(self.config("coin_seed"), (self.sid, r))
+        state.advanced = True
+        if len(vals) == 1:
+            (v,) = vals
+            if v == coin:
+                self._decide(v)
+                return
+            self.est = v
+        else:
+            self.est = coin
+        self.round = r + 1
+        self._send_bval(self.round, self.est)
+        self._try_progress(self.round)
+
+    def _decide(self, v: int) -> None:
+        self.decided = v
+        self._broadcast_decide(v)
+        self.finish(v)
+
+    def _broadcast_decide(self, v: int) -> None:
+        if not self.decide_sent:
+            self.decide_sent = True
+            self.send_all(("decide", v))

@@ -1,0 +1,42 @@
+"""Cheap-talk implementations of mediators — the paper's contribution.
+
+The four compilers correspond to the paper's four upper-bound theorems:
+
+* :func:`compile_theorem41` — ``n > 4k + 4t``, errorless, no punishment
+  needed, works with both the AH and the default-move approach.
+* :func:`compile_theorem42` — ``n > 3k + 3t``, ε-implementation /
+  ε-(k,t)-robustness (ε controlled by the MAC field size).
+* :func:`compile_theorem44` — ``n > 3k + 4t``, errorless, requires a
+  (k+t)-punishment strategy placed in the players' wills (AH approach).
+* :func:`compile_theorem45` — ``n > 2k + 3t``, ε, requires a
+  (2k+2t)-punishment strategy (AH approach).
+"""
+
+from repro.cheaptalk.circuits import mediator_circuit_for
+from repro.cheaptalk.game import CheapTalkGame, CheapTalkPlayer
+from repro.cheaptalk.compiler import (
+    CompiledProtocol,
+    compile_theorem41,
+    compile_theorem42,
+    compile_theorem44,
+    compile_theorem45,
+)
+from repro.cheaptalk.properties import (
+    check_cotermination,
+    check_emulation,
+    check_bisimulation,
+)
+
+__all__ = [
+    "mediator_circuit_for",
+    "CheapTalkGame",
+    "CheapTalkPlayer",
+    "CompiledProtocol",
+    "compile_theorem41",
+    "compile_theorem42",
+    "compile_theorem44",
+    "compile_theorem45",
+    "check_cotermination",
+    "check_emulation",
+    "check_bisimulation",
+]

@@ -1,0 +1,287 @@
+"""Arithmetic circuits over GF(p).
+
+The paper measures mediator complexity by "an arithmetic circuit with at
+most c gates"; we take that literally. A mediator strategy is compiled to a
+:class:`Circuit`: inputs are the players' reported types (one field element
+per player), internal gates are +, −, ×, scalar ops, and dealt randomness
+(uniform field elements or uniform bits), and each output wire is privately
+revealed to one player, who decodes it to an action.
+
+Circuits evaluate in two worlds:
+
+* *in the clear* (:meth:`Circuit.evaluate`) — reference semantics, used by
+  the abstract mediator game;
+* *under MPC* (:mod:`repro.mpc`) — the cheap-talk implementations evaluate
+  the same object on secret-shared wires.
+
+Builders for common mediator patterns are provided: boolean helpers
+(xor/and/or/not over {0,1} wires), equality-to-constant indicators over a
+small domain, table lookup (univariate Lagrange polynomial), and threshold
+/ majority circuits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import MediatorError
+from repro.field import GF, GFElement, Polynomial, lagrange_interpolate
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One circuit gate. ``args`` are wire indices; semantics per ``op``."""
+
+    op: str  # input | const | add | sub | mul | smul | sadd | rand | randbit
+    args: tuple[int, ...] = ()
+    param: Any = None  # player for input; constant for const/smul/sadd
+
+
+@dataclass(frozen=True)
+class OutputSpec:
+    """A wire privately revealed to ``player`` under label ``label``."""
+
+    wire: int
+    player: int
+    label: str
+
+
+class Circuit:
+    """An arithmetic circuit over a prime field (append-only builder)."""
+
+    def __init__(self, field_: GF, name: str = "circuit") -> None:
+        self.field = field_
+        self.name = name
+        self.gates: list[Gate] = []
+        self.outputs: list[OutputSpec] = []
+
+    # -- construction ------------------------------------------------------
+
+    def _push(self, gate: Gate) -> int:
+        self.gates.append(gate)
+        return len(self.gates) - 1
+
+    def input(self, player: int) -> int:
+        """A wire carrying ``player``'s (encoded) reported type."""
+        return self._push(Gate("input", (), player))
+
+    def const(self, value) -> int:
+        return self._push(Gate("const", (), self.field(value)))
+
+    def add(self, a: int, b: int) -> int:
+        return self._push(Gate("add", (a, b)))
+
+    def sub(self, a: int, b: int) -> int:
+        return self._push(Gate("sub", (a, b)))
+
+    def mul(self, a: int, b: int) -> int:
+        return self._push(Gate("mul", (a, b)))
+
+    def smul(self, a: int, scalar) -> int:
+        """Multiply a wire by a public scalar (free under MPC)."""
+        return self._push(Gate("smul", (a,), self.field(scalar)))
+
+    def sadd(self, a: int, scalar) -> int:
+        """Add a public scalar to a wire (free under MPC)."""
+        return self._push(Gate("sadd", (a,), self.field(scalar)))
+
+    def rand(self) -> int:
+        """A uniformly random field element (dealt randomness)."""
+        return self._push(Gate("rand", ()))
+
+    def randbit(self) -> int:
+        """A uniformly random bit (dealt randomness)."""
+        return self._push(Gate("randbit", ()))
+
+    def randint(self, modulus: int) -> int:
+        """A uniformly random value in range(modulus) (dealt randomness)."""
+        if modulus < 1:
+            raise MediatorError("randint modulus must be >= 1")
+        return self._push(Gate("randint", (), modulus))
+
+    def output(self, wire: int, player: int, label: Optional[str] = None) -> None:
+        label = label if label is not None else f"out{len(self.outputs)}"
+        self.outputs.append(OutputSpec(wire, player, label))
+
+    def output_all(self, wire: int, players: Sequence[int],
+                   label: Optional[str] = None) -> None:
+        label = label if label is not None else f"out{len(self.outputs)}"
+        for player in players:
+            self.outputs.append(OutputSpec(wire, player, f"{label}@{player}"))
+
+    # -- boolean / lookup helpers (wires assumed to carry {0,1}) -----------
+
+    def b_not(self, a: int) -> int:
+        return self.sub(self.const(1), a)
+
+    def b_and(self, a: int, b: int) -> int:
+        return self.mul(a, b)
+
+    def b_or(self, a: int, b: int) -> int:
+        return self.sub(self.add(a, b), self.mul(a, b))
+
+    def b_xor(self, a: int, b: int) -> int:
+        two_ab = self.smul(self.mul(a, b), 2)
+        return self.sub(self.add(a, b), two_ab)
+
+    def xor_many(self, wires: Sequence[int]) -> int:
+        if not wires:
+            raise MediatorError("xor_many needs at least one wire")
+        acc = wires[0]
+        for w in wires[1:]:
+            acc = self.b_xor(acc, w)
+        return acc
+
+    def sum_many(self, wires: Sequence[int]) -> int:
+        if not wires:
+            raise MediatorError("sum_many needs at least one wire")
+        acc = wires[0]
+        for w in wires[1:]:
+            acc = self.add(acc, w)
+        return acc
+
+    def mux(self, bit: int, if_one: int, if_zero: int) -> int:
+        """bit·if_one + (1−bit)·if_zero."""
+        return self.add(self.mul(bit, if_one), self.mul(self.b_not(bit), if_zero))
+
+    def powers(self, a: int, max_power: int) -> list[int]:
+        """Wires carrying a^0 (const 1), a^1, ..., a^max_power."""
+        wires = [self.const(1), a]
+        for _ in range(2, max_power + 1):
+            wires.append(self.mul(wires[-1], a))
+        return wires[: max_power + 1]
+
+    def lookup(self, a: int, table: dict[int, int], domain: Sequence[int]) -> int:
+        """The univariate function ``table`` applied to wire ``a``.
+
+        ``a`` must carry a value in ``domain``; the function is realised as
+        the Lagrange polynomial through (x, table.get(x, 0)) for x in
+        domain, costing |domain| − 1 multiplications.
+        """
+        points = [(x, table.get(x, 0)) for x in domain]
+        poly = lagrange_interpolate(self.field, points)
+        if poly.is_zero():
+            return self.const(0)
+        pows = self.powers(a, max(poly.degree, 0))
+        terms = [
+            self.smul(pows[j], coeff)
+            for j, coeff in enumerate(poly.coeffs)
+            if coeff.value != 0
+        ]
+        if not terms:
+            return self.const(0)
+        return self.sum_many(terms)
+
+    def eq_const(self, a: int, value: int, domain: Sequence[int]) -> int:
+        """Indicator wire: 1 if a == value else 0 (a ranging over domain)."""
+        return self.lookup(a, {value: 1}, domain)
+
+    def threshold(self, bit_wires: Sequence[int], minimum: int) -> int:
+        """1 iff at least ``minimum`` of the given bit wires are 1."""
+        total = self.sum_many(list(bit_wires))
+        domain = list(range(len(bit_wires) + 1))
+        return self.lookup(total, {s: 1 for s in domain if s >= minimum}, domain)
+
+    def majority(self, bit_wires: Sequence[int]) -> int:
+        """1 iff strictly more than half the bits are 1 (ties -> 0)."""
+        return self.threshold(bit_wires, len(bit_wires) // 2 + 1)
+
+    # -- accounting ---------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Gate count c, the paper's circuit-size parameter."""
+        return len(self.gates)
+
+    @property
+    def mul_count(self) -> int:
+        return sum(1 for g in self.gates if g.op == "mul")
+
+    @property
+    def rand_count(self) -> int:
+        return sum(1 for g in self.gates if g.op == "rand")
+
+    @property
+    def randbit_count(self) -> int:
+        return sum(1 for g in self.gates if g.op == "randbit")
+
+    @property
+    def randint_count(self) -> int:
+        return sum(1 for g in self.gates if g.op == "randint")
+
+    def input_players(self) -> list[int]:
+        return sorted({g.param for g in self.gates if g.op == "input"})
+
+    def outputs_for(self, player: int) -> list[OutputSpec]:
+        return [o for o in self.outputs if o.player == player]
+
+    def validate(self) -> None:
+        for idx, gate in enumerate(self.gates):
+            for arg in gate.args:
+                if not (0 <= arg < idx):
+                    raise MediatorError(
+                        f"gate {idx} references wire {arg} (not yet defined)"
+                    )
+        for out in self.outputs:
+            if not (0 <= out.wire < len(self.gates)):
+                raise MediatorError(f"output wire {out.wire} out of range")
+
+    # -- reference evaluation -------------------------------------------------
+
+    def evaluate(
+        self,
+        inputs: dict[int, int],
+        rng,
+        randomness: Optional[dict[int, GFElement]] = None,
+    ) -> dict[str, GFElement]:
+        """Evaluate in the clear. Returns {output label: value}.
+
+        ``inputs`` maps player -> encoded type. ``randomness`` (wire index
+        -> value) pins the rand/randbit gates; otherwise they draw from
+        ``rng``. Output labels include per-player duplicates as built.
+        """
+        self.validate()
+        values: list[GFElement] = []
+        for idx, gate in enumerate(self.gates):
+            if gate.op == "input":
+                if gate.param not in inputs:
+                    raise MediatorError(f"missing input for player {gate.param}")
+                values.append(self.field(inputs[gate.param]))
+            elif gate.op == "const":
+                values.append(gate.param)
+            elif gate.op == "add":
+                values.append(values[gate.args[0]] + values[gate.args[1]])
+            elif gate.op == "sub":
+                values.append(values[gate.args[0]] - values[gate.args[1]])
+            elif gate.op == "mul":
+                values.append(values[gate.args[0]] * values[gate.args[1]])
+            elif gate.op == "smul":
+                values.append(values[gate.args[0]] * gate.param)
+            elif gate.op == "sadd":
+                values.append(values[gate.args[0]] + gate.param)
+            elif gate.op == "rand":
+                if randomness and idx in randomness:
+                    values.append(randomness[idx])
+                else:
+                    values.append(self.field.random(rng))
+            elif gate.op == "randbit":
+                if randomness and idx in randomness:
+                    values.append(randomness[idx])
+                else:
+                    values.append(self.field(rng.randrange(2)))
+            elif gate.op == "randint":
+                if randomness and idx in randomness:
+                    values.append(randomness[idx])
+                else:
+                    values.append(self.field(rng.randrange(gate.param)))
+            else:  # pragma: no cover - defensive
+                raise MediatorError(f"unknown gate op {gate.op!r}")
+        return {out.label: values[out.wire] for out in self.outputs}
+
+    def __repr__(self) -> str:
+        return (
+            f"<Circuit {self.name!r} gates={self.size} mul={self.mul_count} "
+            f"outputs={len(self.outputs)}>"
+        )

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class FieldError(ReproError):
+    """Invalid finite-field operation (mixed moduli, zero inverse, ...)."""
+
+
+class DecodingError(ReproError):
+    """Reed-Solomon / interpolation decoding failed (too many errors)."""
+
+
+class SimulationError(ReproError):
+    """The asynchronous simulation reached an invalid internal state."""
+
+
+class SchedulerError(SimulationError):
+    """A scheduler violated its contract (e.g. delivered unknown message)."""
+
+
+class StepLimitExceeded(SimulationError):
+    """The runtime hit its step limit before the run quiesced.
+
+    This normally indicates a livelock in a protocol under test; fair
+    schedulers plus terminating protocols should always quiesce.
+    """
+
+
+class GameError(ReproError):
+    """Malformed game description (utility table shape, type space, ...)."""
+
+
+class StrategyError(GameError):
+    """A strategy was queried outside its domain."""
+
+
+class ProtocolError(ReproError):
+    """A distributed protocol received an impossible/forbidden message."""
+
+
+class SecurityViolation(ProtocolError):
+    """An invariant that the adversary model promises was broken.
+
+    Raised by verification harnesses, never by honest protocol code paths.
+    """
+
+
+class CheatingDetected(ProtocolError):
+    """A MAC/consistency check caught an incorrect share or message.
+
+    For the epsilon-variant engines this is an *expected* runtime event
+    (probability <= epsilon under an active adversary); the cheap-talk layer
+    converts it into the deadlock/default-move path.
+    """
+
+
+class MediatorError(ReproError):
+    """Mediator strategy violated canonical form or circuit constraints."""
+
+
+class CompilationError(ReproError):
+    """Cheap-talk compilation failed (bounds not met, missing punishment)."""

@@ -1,0 +1,26 @@
+"""Finite-field algebra: GF(p) elements, polynomials, Reed-Solomon decoding.
+
+This is the algebraic substrate for Shamir secret sharing, AVSS, and the
+robust (error-corrected) openings used by the asynchronous MPC engines.
+"""
+
+from repro.field.gf import GF, GFElement, DEFAULT_PRIME, SMALL_PRIME
+from repro.field.poly import (
+    Polynomial,
+    lagrange_interpolate,
+    lagrange_coefficients_at_zero,
+    berlekamp_welch,
+    robust_interpolate,
+)
+
+__all__ = [
+    "GF",
+    "GFElement",
+    "DEFAULT_PRIME",
+    "SMALL_PRIME",
+    "Polynomial",
+    "lagrange_interpolate",
+    "lagrange_coefficients_at_zero",
+    "berlekamp_welch",
+    "robust_interpolate",
+]

@@ -1,0 +1,188 @@
+"""Prime-field GF(p) arithmetic.
+
+A :class:`GF` object represents the field; :class:`GFElement` is an immutable
+element supporting the usual operators. Elements of different fields never
+mix (attempting to raises :class:`~repro.errors.FieldError`).
+
+Two standard primes are provided:
+
+* ``DEFAULT_PRIME`` — a 61-bit Mersenne prime, large enough that the
+  SPDZ-style MAC forgery probability (2/p) is negligible for the
+  epsilon-variant engines.
+* ``SMALL_PRIME`` — a small prime handy for tests that want to enumerate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from repro.errors import FieldError
+
+DEFAULT_PRIME = 2**61 - 1
+SMALL_PRIME = 101
+
+IntoElement = Union["GFElement", int]
+
+
+class GF:
+    """The finite field of integers modulo a prime ``p``."""
+
+    _cache: dict[int, "GF"] = {}
+
+    def __new__(cls, p: int) -> "GF":
+        cached = cls._cache.get(p)
+        if cached is not None:
+            return cached
+        if p < 2:
+            raise FieldError(f"field modulus must be >= 2, got {p}")
+        obj = super().__new__(cls)
+        obj._init(p)
+        cls._cache[p] = obj
+        return obj
+
+    def _init(self, p: int) -> None:
+        self.p = p
+        self._zero = GFElement(self, 0)
+        self._one = GFElement(self, 1)
+
+    # -- constructors ------------------------------------------------------
+
+    def __call__(self, value: IntoElement) -> "GFElement":
+        """Coerce ``value`` into this field."""
+        if isinstance(value, GFElement):
+            if value.field is not self:
+                raise FieldError("cannot coerce element across fields")
+            return value
+        return GFElement(self, value % self.p)
+
+    def zero(self) -> "GFElement":
+        return self._zero
+
+    def one(self) -> "GFElement":
+        return self._one
+
+    def random(self, rng) -> "GFElement":
+        """A uniformly random element drawn from ``rng``."""
+        return GFElement(self, rng.randrange(self.p))
+
+    def random_nonzero(self, rng) -> "GFElement":
+        return GFElement(self, rng.randrange(1, self.p))
+
+    def elements(self) -> Iterable["GFElement"]:
+        """Iterate over all field elements (only sensible for small p)."""
+        return (GFElement(self, v) for v in range(self.p))
+
+    def batch(self, values: Sequence[int]) -> list["GFElement"]:
+        return [GFElement(self, v % self.p) for v in values]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GF) and other.p == self.p
+
+    def __hash__(self) -> int:
+        return hash(("GF", self.p))
+
+    def __repr__(self) -> str:
+        return f"GF({self.p})"
+
+
+class GFElement:
+    """An immutable element of a :class:`GF` field."""
+
+    __slots__ = ("field", "value")
+
+    def __init__(self, field: GF, value: int) -> None:
+        object.__setattr__(self, "field", field)
+        object.__setattr__(self, "value", value % field.p)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise FieldError("GFElement is immutable")
+
+    # -- helpers -----------------------------------------------------------
+
+    def _coerce(self, other: IntoElement) -> "GFElement":
+        if isinstance(other, GFElement):
+            if other.field is not self.field:
+                raise FieldError(
+                    f"mixed-field operation: {self.field} vs {other.field}"
+                )
+            return other
+        if isinstance(other, int):
+            return GFElement(self.field, other)
+        return NotImplemented  # type: ignore[return-value]
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: IntoElement) -> "GFElement":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return GFElement(self.field, self.value + other.value)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: IntoElement) -> "GFElement":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return GFElement(self.field, self.value - other.value)
+
+    def __rsub__(self, other: IntoElement) -> "GFElement":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return GFElement(self.field, other.value - self.value)
+
+    def __mul__(self, other: IntoElement) -> "GFElement":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return GFElement(self.field, self.value * other.value)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "GFElement":
+        return GFElement(self.field, -self.value)
+
+    def inverse(self) -> "GFElement":
+        """Multiplicative inverse (Fermat); raises on zero."""
+        if self.value == 0:
+            raise FieldError("zero has no multiplicative inverse")
+        return GFElement(self.field, pow(self.value, self.field.p - 2, self.field.p))
+
+    def __truediv__(self, other: IntoElement) -> "GFElement":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self * other.inverse()
+
+    def __rtruediv__(self, other: IntoElement) -> "GFElement":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return other * self.inverse()
+
+    def __pow__(self, exponent: int) -> "GFElement":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        return GFElement(self.field, pow(self.value, exponent, self.field.p))
+
+    # -- comparison / hashing ---------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, GFElement):
+            return self.field is other.field and self.value == other.value
+        if isinstance(other, int):
+            return self.value == other % self.field.p
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.field.p, self.value))
+
+    def __bool__(self) -> bool:
+        return self.value != 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"{self.value}@GF({self.field.p})"

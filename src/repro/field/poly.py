@@ -1,0 +1,358 @@
+"""Polynomials over GF(p): interpolation and Reed-Solomon decoding.
+
+The MPC substrate relies on three operations here:
+
+* :func:`lagrange_interpolate` — exact interpolation through clean points
+  (used by honest dealers and by reconstruction when no faults occurred).
+* :func:`berlekamp_welch` — decode a degree-``d`` polynomial from points of
+  which up to ``e`` may be corrupted (``len(points) >= d + 1 + 2e``). This is
+  what makes openings *robust*: a Byzantine party sending a wrong share is
+  simply corrected away.
+* :func:`robust_interpolate` — the online-error-correction wrapper used by
+  asynchronous openings: given the points received so far, either return the
+  unique degree-``d`` polynomial consistent with all-but-``e`` of them or
+  report that more points are needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import DecodingError, FieldError
+from repro.field.gf import GF, GFElement
+
+
+@dataclass(frozen=True)
+class Polynomial:
+    """A polynomial over GF(p), stored as a coefficient tuple (low first)."""
+
+    field: GF
+    coeffs: tuple[GFElement, ...]
+
+    @staticmethod
+    def from_ints(field: GF, coeffs: Sequence[int]) -> "Polynomial":
+        return Polynomial(field, tuple(field(c) for c in coeffs)).normalized()
+
+    @staticmethod
+    def zero(field: GF) -> "Polynomial":
+        return Polynomial(field, ())
+
+    @staticmethod
+    def random(field: GF, degree: int, rng, constant: Optional[GFElement] = None) -> "Polynomial":
+        """Random polynomial of exactly the given degree bound.
+
+        If ``constant`` is supplied it becomes the constant term (the secret,
+        in Shamir terms); remaining coefficients are uniform.
+        """
+        coeffs = [field.random(rng) for _ in range(degree + 1)]
+        if constant is not None:
+            coeffs[0] = field(constant)
+        return Polynomial(field, tuple(coeffs)).normalized()
+
+    # -- structural --------------------------------------------------------
+
+    def normalized(self) -> "Polynomial":
+        """Strip trailing zero coefficients."""
+        coeffs = list(self.coeffs)
+        while coeffs and coeffs[-1].value == 0:
+            coeffs.pop()
+        return Polynomial(self.field, tuple(coeffs))
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial; the zero polynomial has degree -1."""
+        return len(self.coeffs) - 1
+
+    def is_zero(self) -> bool:
+        return not self.coeffs
+
+    # -- evaluation --------------------------------------------------------
+
+    def __call__(self, x) -> GFElement:
+        x = self.field(x)
+        acc = self.field.zero()
+        for coeff in reversed(self.coeffs):
+            acc = acc * x + coeff
+        return acc
+
+    def evaluate_many(self, xs: Sequence) -> list[GFElement]:
+        return [self(x) for x in xs]
+
+    # -- arithmetic --------------------------------------------------------
+
+    def _check(self, other: "Polynomial") -> None:
+        if other.field is not self.field:
+            raise FieldError("mixed-field polynomial operation")
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        self._check(other)
+        n = max(len(self.coeffs), len(other.coeffs))
+        zero = self.field.zero()
+        coeffs = tuple(
+            (self.coeffs[i] if i < len(self.coeffs) else zero)
+            + (other.coeffs[i] if i < len(other.coeffs) else zero)
+            for i in range(n)
+        )
+        return Polynomial(self.field, coeffs).normalized()
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        return self + (-other)
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial(self.field, tuple(-c for c in self.coeffs))
+
+    def __mul__(self, other) -> "Polynomial":
+        if isinstance(other, (GFElement, int)):
+            scalar = self.field(other)
+            return Polynomial(
+                self.field, tuple(c * scalar for c in self.coeffs)
+            ).normalized()
+        self._check(other)
+        if self.is_zero() or other.is_zero():
+            return Polynomial.zero(self.field)
+        zero = self.field.zero()
+        out = [zero] * (len(self.coeffs) + len(other.coeffs) - 1)
+        for i, a in enumerate(self.coeffs):
+            if a.value == 0:
+                continue
+            for j, b in enumerate(other.coeffs):
+                out[i + j] = out[i + j] + a * b
+        return Polynomial(self.field, tuple(out)).normalized()
+
+    __rmul__ = __mul__
+
+    def divmod(self, divisor: "Polynomial") -> tuple["Polynomial", "Polynomial"]:
+        """Polynomial long division; returns (quotient, remainder)."""
+        self._check(divisor)
+        if divisor.is_zero():
+            raise FieldError("polynomial division by zero")
+        field = self.field
+        remainder = list(self.coeffs)
+        quotient = [field.zero()] * max(0, len(remainder) - len(divisor.coeffs) + 1)
+        inv_lead = divisor.coeffs[-1].inverse()
+        for shift in range(len(remainder) - len(divisor.coeffs), -1, -1):
+            factor = remainder[shift + len(divisor.coeffs) - 1] * inv_lead
+            if factor.value == 0:
+                continue
+            quotient[shift] = factor
+            for i, dcoeff in enumerate(divisor.coeffs):
+                remainder[shift + i] = remainder[shift + i] - factor * dcoeff
+        return (
+            Polynomial(field, tuple(quotient)).normalized(),
+            Polynomial(field, tuple(remainder)).normalized(),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return (
+            self.field is other.field
+            and self.normalized().coeffs == other.normalized().coeffs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.field.p, self.normalized().coeffs))
+
+    def __repr__(self) -> str:
+        return f"Polynomial({[c.value for c in self.coeffs]} over GF({self.field.p}))"
+
+
+def lagrange_interpolate(field: GF, points: Sequence[tuple], ) -> Polynomial:
+    """Interpolate the unique polynomial of degree < len(points).
+
+    ``points`` is a sequence of (x, y) pairs with distinct x values.
+    """
+    xs = [field(x) for x, _ in points]
+    ys = [field(y) for _, y in points]
+    if len({x.value for x in xs}) != len(xs):
+        raise FieldError("interpolation points must have distinct x values")
+    result = Polynomial.zero(field)
+    for i, (xi, yi) in enumerate(zip(xs, ys)):
+        numerator = Polynomial(field, (field.one(),))
+        denominator = field.one()
+        for j, xj in enumerate(xs):
+            if i == j:
+                continue
+            numerator = numerator * Polynomial(field, (-xj, field.one()))
+            denominator = denominator * (xi - xj)
+        result = result + numerator * (yi / denominator)
+    return result.normalized()
+
+
+def lagrange_coefficients_at_zero(field: GF, xs: Sequence) -> list[GFElement]:
+    """Coefficients lambda_i with p(0) = sum_i lambda_i * p(x_i).
+
+    These are the recombination weights used everywhere in Shamir-based MPC.
+    """
+    xs = [field(x) for x in xs]
+    coeffs = []
+    for i, xi in enumerate(xs):
+        num = field.one()
+        den = field.one()
+        for j, xj in enumerate(xs):
+            if i == j:
+                continue
+            num = num * (-xj)
+            den = den * (xi - xj)
+        coeffs.append(num / den)
+    return coeffs
+
+
+def berlekamp_welch(
+    field: GF,
+    points: Sequence[tuple],
+    degree: int,
+    max_errors: int,
+) -> Polynomial:
+    """Decode a degree-``degree`` polynomial from noisy evaluations.
+
+    Requires ``len(points) >= degree + 1 + 2 * max_errors``. Returns the
+    unique polynomial agreeing with at least ``len(points) - max_errors`` of
+    the given points, or raises :class:`DecodingError` if none exists.
+
+    Implementation: classic Berlekamp-Welch. Find polynomials E (monic,
+    deg <= e) and Q (deg <= degree + e) with Q(x_i) = y_i * E(x_i) for all i;
+    then P = Q / E.
+    """
+    xs = [field(x) for x, _ in points]
+    ys = [field(y) for _, y in points]
+    n_points = len(points)
+    if len({x.value for x in xs}) != n_points:
+        raise FieldError("decoding points must have distinct x values")
+    if degree < 0:
+        raise FieldError("degree must be >= 0 for decoding")
+    if n_points < degree + 1 + 2 * max_errors:
+        raise DecodingError(
+            f"need >= {degree + 1 + 2 * max_errors} points to correct "
+            f"{max_errors} errors at degree {degree}, got {n_points}"
+        )
+
+    # Fast path: the points may already be consistent.
+    exact = lagrange_interpolate(field, list(zip(xs[: degree + 1], ys[: degree + 1])))
+    if exact.degree <= degree and all(exact(x) == y for x, y in zip(xs, ys)):
+        return exact
+
+    for e in range(1, max_errors + 1):
+        poly = _berlekamp_welch_fixed_e(field, xs, ys, degree, e)
+        if poly is not None:
+            agreement = sum(1 for x, y in zip(xs, ys) if poly(x) == y)
+            if agreement >= n_points - max_errors and poly.degree <= degree:
+                return poly
+    raise DecodingError(
+        f"no degree-{degree} polynomial within {max_errors} errors of the points"
+    )
+
+
+def _berlekamp_welch_fixed_e(
+    field: GF,
+    xs: Sequence[GFElement],
+    ys: Sequence[GFElement],
+    degree: int,
+    e: int,
+) -> Optional[Polynomial]:
+    """Solve the BW linear system for exactly ``e`` errors; None on failure."""
+    n_points = len(xs)
+    q_len = degree + e + 1  # unknown coefficients of Q
+    # Unknowns: q_0..q_{degree+e}, e_0..e_{e-1}  (E is monic of degree e).
+    n_unknowns = q_len + e
+    rows = []
+    rhs = []
+    for x, y in zip(xs, ys):
+        row = [field.zero()] * n_unknowns
+        xp = field.one()
+        for j in range(q_len):
+            row[j] = xp
+            xp = xp * x
+        xp = field.one()
+        for j in range(e):
+            row[q_len + j] = -(y * xp)
+            xp = xp * x
+        # Monic term of E contributes y * x^e to the RHS.
+        rows.append(row)
+        rhs.append(y * (x**e))
+    solution = _solve_linear_system(field, rows, rhs)
+    if solution is None:
+        return None
+    q_poly = Polynomial(field, tuple(solution[:q_len])).normalized()
+    e_coeffs = list(solution[q_len:]) + [field.one()]
+    e_poly = Polynomial(field, tuple(e_coeffs)).normalized()
+    quotient, remainder = q_poly.divmod(e_poly)
+    if not remainder.is_zero():
+        return None
+    return quotient
+
+
+def _solve_linear_system(
+    field: GF, rows: list[list[GFElement]], rhs: list[GFElement]
+) -> Optional[list[GFElement]]:
+    """Gaussian elimination over GF(p); returns one solution or None.
+
+    Underdetermined systems are resolved by setting free variables to zero.
+    """
+    n_rows = len(rows)
+    if n_rows == 0:
+        return []
+    n_cols = len(rows[0])
+    aug = [list(row) + [b] for row, b in zip(rows, rhs)]
+    pivot_cols: list[int] = []
+    row_idx = 0
+    for col in range(n_cols):
+        pivot = None
+        for r in range(row_idx, n_rows):
+            if aug[r][col].value != 0:
+                pivot = r
+                break
+        if pivot is None:
+            continue
+        aug[row_idx], aug[pivot] = aug[pivot], aug[row_idx]
+        inv = aug[row_idx][col].inverse()
+        aug[row_idx] = [v * inv for v in aug[row_idx]]
+        for r in range(n_rows):
+            if r != row_idx and aug[r][col].value != 0:
+                factor = aug[r][col]
+                aug[r] = [a - factor * b for a, b in zip(aug[r], aug[row_idx])]
+        pivot_cols.append(col)
+        row_idx += 1
+        if row_idx == n_rows:
+            break
+    # Check consistency of zero rows.
+    for r in range(row_idx, n_rows):
+        if aug[r][n_cols].value != 0:
+            return None
+    solution = [field.zero()] * n_cols
+    for r, col in enumerate(pivot_cols):
+        solution[col] = aug[r][n_cols]
+    return solution
+
+
+def robust_interpolate(
+    field: GF,
+    points: Sequence[tuple],
+    degree: int,
+    total_parties: int,
+    max_faulty: int,
+) -> Optional[Polynomial]:
+    """Online-error-correction step for asynchronous robust openings.
+
+    Given the points received *so far* (of which up to ``max_faulty`` may be
+    corrupted — but we do not know which), return the unique degree-``degree``
+    polynomial that is guaranteed correct, or ``None`` if more points must be
+    awaited.
+
+    The guarantee: a returned polynomial agrees with at least
+    ``degree + max_faulty + 1`` of the received points, hence with at least
+    ``degree + 1`` honest points, hence equals the honest polynomial.
+    """
+    received = len(points)
+    # Try every error budget e supportable by the current point count.
+    best_e = min(max_faulty, (received - degree - 1) // 2) if received > degree else -1
+    for e in range(0, best_e + 1):
+        try:
+            poly = berlekamp_welch(field, points, degree, e)
+        except DecodingError:
+            continue
+        agreement = sum(1 for x, y in points if poly(field(x)) == field(y))
+        if agreement >= degree + max_faulty + 1:
+            return poly
+    return None

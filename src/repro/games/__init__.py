@@ -1,0 +1,56 @@
+"""Normal-form Bayesian games and the paper's solution concepts."""
+
+from repro.games.bayesian import BayesianGame, TypeSpace
+from repro.games.strategies import (
+    Strategy,
+    PureStrategy,
+    MixedStrategy,
+    ConstantStrategy,
+    UniformStrategy,
+    StrategyProfile,
+)
+from repro.games.outcomes import (
+    OutcomeMap,
+    outcome_map,
+    statistical_distance,
+    outcome_map_distance,
+    expected_utilities,
+    conditional_expected_utility,
+)
+from repro.games.solution import (
+    SolutionReport,
+    check_k_resilient,
+    check_t_immune,
+    check_kt_robust,
+    check_nash,
+    find_pure_nash,
+    tighten_epsilon,
+)
+from repro.games.punishment import check_punishment_strategy
+from repro.games import library
+
+__all__ = [
+    "BayesianGame",
+    "TypeSpace",
+    "Strategy",
+    "PureStrategy",
+    "MixedStrategy",
+    "ConstantStrategy",
+    "UniformStrategy",
+    "StrategyProfile",
+    "OutcomeMap",
+    "outcome_map",
+    "statistical_distance",
+    "outcome_map_distance",
+    "expected_utilities",
+    "conditional_expected_utility",
+    "SolutionReport",
+    "check_k_resilient",
+    "check_t_immune",
+    "check_kt_robust",
+    "check_nash",
+    "find_pure_nash",
+    "tighten_epsilon",
+    "check_punishment_strategy",
+    "library",
+]

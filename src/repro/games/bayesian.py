@@ -1,0 +1,202 @@
+"""Normal-form Bayesian games (the paper's *underlying game* Γ).
+
+A game has ``n`` players, per-player finite action sets, a finite type space
+with a commonly-known joint distribution, and a utility function mapping a
+(type profile, action profile) pair to a payoff vector. The underlying game
+is synchronous — players move simultaneously, no environment — matching
+Section 2 of the paper. Asynchrony enters only in *extensions* of the game
+(mediator games and cheap-talk games), built elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.errors import GameError
+
+TypeProfile = tuple
+ActionProfile = tuple
+
+
+@dataclass(frozen=True)
+class TypeSpace:
+    """A finite joint distribution over type profiles.
+
+    ``support`` maps each type profile (a tuple, one entry per player) to its
+    probability. Player ``i``'s marginal type set is derived on demand.
+    """
+
+    n: int
+    support: tuple[tuple[TypeProfile, float], ...]
+
+    @staticmethod
+    def from_dict(n: int, dist: dict) -> "TypeSpace":
+        items = tuple(sorted(dist.items(), key=lambda kv: repr(kv[0])))
+        return TypeSpace(n, items)
+
+    @staticmethod
+    def single(profile: Sequence) -> "TypeSpace":
+        """Complete-information game: one type profile with probability 1."""
+        profile = tuple(profile)
+        return TypeSpace(len(profile), ((profile, 1.0),))
+
+    @staticmethod
+    def uniform(profiles: Iterable[Sequence]) -> "TypeSpace":
+        profiles = [tuple(p) for p in profiles]
+        if not profiles:
+            raise GameError("type space needs at least one profile")
+        prob = 1.0 / len(profiles)
+        return TypeSpace(len(profiles[0]), tuple((p, prob) for p in profiles))
+
+    @staticmethod
+    def independent_uniform(per_player_types: Sequence[Sequence]) -> "TypeSpace":
+        """Independent uniform types: the common case in our experiments."""
+        import itertools
+
+        profiles = list(itertools.product(*per_player_types))
+        return TypeSpace.uniform(profiles)
+
+    def __post_init__(self) -> None:
+        total = sum(p for _, p in self.support)
+        if abs(total - 1.0) > 1e-9:
+            raise GameError(f"type distribution sums to {total}, not 1")
+        for profile, prob in self.support:
+            if len(profile) != self.n:
+                raise GameError(
+                    f"type profile {profile!r} has wrong arity (n={self.n})"
+                )
+            if prob < 0:
+                raise GameError("negative type probability")
+
+    def profiles(self) -> list[TypeProfile]:
+        return [p for p, _ in self.support]
+
+    def probability(self, profile: TypeProfile) -> float:
+        for p, prob in self.support:
+            if p == profile:
+                return prob
+        return 0.0
+
+    def player_types(self, i: int) -> list:
+        seen = []
+        for profile, _ in self.support:
+            if profile[i] not in seen:
+                seen.append(profile[i])
+        return seen
+
+    def coalition_profiles(self, coalition: Sequence[int]) -> list[tuple]:
+        """Distinct restrictions x_K of type profiles to ``coalition``."""
+        seen = []
+        for profile, _ in self.support:
+            restricted = tuple(profile[i] for i in coalition)
+            if restricted not in seen:
+                seen.append(restricted)
+        return seen
+
+    def conditional(self, coalition: Sequence[int], x_k: tuple) -> list[tuple[TypeProfile, float]]:
+        """The distribution Pr(x' | x'_K = x_K) as (profile, prob) pairs.
+
+        This is the paper's ``T(x_K)`` conditioning used in the
+        coalition-aware expected utility u_i(Γ, σ, x_K).
+        """
+        matching = [
+            (profile, prob)
+            for profile, prob in self.support
+            if tuple(profile[i] for i in coalition) == tuple(x_k)
+        ]
+        total = sum(prob for _, prob in matching)
+        if total == 0:
+            raise GameError(f"coalition types {x_k!r} have zero probability")
+        return [(profile, prob / total) for profile, prob in matching]
+
+
+class BayesianGame:
+    """An n-player normal-form Bayesian game.
+
+    ``utility(type_profile, action_profile)`` must return a sequence of n
+    payoffs. Utilities are cached since solution-concept checking evaluates
+    the same cells many times.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        action_sets: Sequence[Sequence[Any]],
+        type_space: TypeSpace,
+        utility: Callable[[TypeProfile, ActionProfile], Sequence[float]],
+        name: str = "game",
+    ) -> None:
+        if len(action_sets) != n:
+            raise GameError("need one action set per player")
+        if type_space.n != n:
+            raise GameError("type space arity does not match player count")
+        for i, actions in enumerate(action_sets):
+            if not actions:
+                raise GameError(f"player {i} has an empty action set")
+        self.n = n
+        self.action_sets = [list(a) for a in action_sets]
+        self.type_space = type_space
+        self._utility = utility
+        self.name = name
+        self._cache: dict[tuple, tuple[float, ...]] = {}
+
+    # -- core ---------------------------------------------------------------
+
+    def players(self) -> range:
+        return range(self.n)
+
+    def utility(self, types: TypeProfile, actions: ActionProfile) -> tuple[float, ...]:
+        key = (tuple(types), tuple(actions))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        value = tuple(float(u) for u in self._utility(key[0], key[1]))
+        if len(value) != self.n:
+            raise GameError(
+                f"utility returned {len(value)} payoffs for {self.n} players"
+            )
+        self._cache[key] = value
+        return value
+
+    def utility_of(self, i: int, types: TypeProfile, actions: ActionProfile) -> float:
+        return self.utility(types, actions)[i]
+
+    def validate_action_profile(self, actions: ActionProfile) -> None:
+        for i, a in enumerate(actions):
+            if a not in self.action_sets[i]:
+                raise GameError(f"action {a!r} not available to player {i}")
+
+    def utility_bound(self) -> float:
+        """Max |u_i| over all cells — the paper's M/2 bound (Thm 4.2)."""
+        import itertools
+
+        bound = 0.0
+        for types in self.type_space.profiles():
+            for actions in itertools.product(*self.action_sets):
+                for u in self.utility(types, actions):
+                    bound = max(bound, abs(u))
+        return bound
+
+    def action_profiles(self) -> list[ActionProfile]:
+        import itertools
+
+        return list(itertools.product(*self.action_sets))
+
+    def with_utility(
+        self,
+        utility: Callable[[TypeProfile, ActionProfile], Sequence[float]],
+        name: Optional[str] = None,
+    ) -> "BayesianGame":
+        """A *utility variant* Γ(u'): same tree, different payoffs (Sec 4)."""
+        return BayesianGame(
+            self.n,
+            self.action_sets,
+            self.type_space,
+            utility,
+            name=name or f"{self.name}-variant",
+        )
+
+    def __repr__(self) -> str:
+        sizes = "x".join(str(len(a)) for a in self.action_sets)
+        return f"<BayesianGame {self.name!r} n={self.n} actions={sizes}>"

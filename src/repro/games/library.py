@@ -1,0 +1,461 @@
+"""Concrete games used throughout tests, examples, and benchmarks.
+
+Each entry is a :class:`GameSpec` bundling the underlying Bayesian game with
+the *ideal mediator function* (what the trusted mediator computes from
+reported types), encodings for the arithmetic-circuit path, a punishment
+profile when one exists, and default moves.
+
+Included games:
+
+* :func:`section64_game` — the paper's Section 6.4 counterexample: the
+  {0,1,⊥} game whose naive punishment-based implementation *fails* because
+  the mediator leaks ``a + b·i``. The spec carries both the leaky and the
+  minimal mediator so experiments can show the failure and the fix.
+* :func:`consensus_game` — players are paid for matching the majority
+  action; the mediator breaks symmetry with a common random bit. The
+  workhorse (k,t)-robust example.
+* :func:`byzantine_agreement_game` — consensus with type-dependent
+  recommendation (majority of reported input bits): the paper's motivating
+  example from the introduction.
+* :func:`shamir_secret_game` — rational secret reconstruction where types
+  are Shamir shares; reconstructing requires cooperation, misreports are
+  error-corrected. Exercises the exclusivity-bonus attack surface.
+* :func:`chicken_game` — the classic 2-player correlated-equilibrium
+  example; the comparison workload for the Even–Goldreich–Lempel baseline.
+* :func:`free_rider_game` — the introduction's Gnutella-style motivation:
+  a mediator rotates the duty to share (k=1, t=0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import GameError
+from repro.games.bayesian import BayesianGame, TypeSpace
+from repro.games.strategies import (
+    ConstantStrategy,
+    PureStrategy,
+    StrategyProfile,
+    UniformStrategy,
+)
+
+BOT = "⊥"
+"""The opt-out action of the Section 6.4 game."""
+
+
+@dataclass
+class GameSpec:
+    """A game plus everything the mediator/cheap-talk layers need."""
+
+    name: str
+    game: BayesianGame
+    mediator_fn: Callable
+    """(reported_type_profile, rng) -> recommended action profile."""
+
+    type_encoding: dict = field(default_factory=dict)
+    """type value -> small int, for the arithmetic-circuit path."""
+
+    action_decoding: dict = field(default_factory=dict)
+    """small int -> action value, for decoding circuit outputs."""
+
+    mediator_dist: Optional[Callable] = None
+    """Exact distribution: reports -> {recommendation profile: prob}.
+
+    Must agree with ``mediator_fn`` (tests enforce this); used by the exact
+    ideal-mediator equilibrium checkers.
+    """
+
+    punishment: Optional[StrategyProfile] = None
+    punishment_strength: int = 0
+    default_moves: Optional[Callable[[int, Any], Any]] = None
+    """(player, type) -> default move (the default-move approach)."""
+
+    notes: str = ""
+
+    def encode_type(self, value: Any) -> int:
+        if not self.type_encoding:
+            return int(value)
+        return self.type_encoding[value]
+
+    def decode_action(self, value: int) -> Any:
+        if not self.action_decoding:
+            return value
+        return self.action_decoding[value]
+
+
+# ---------------------------------------------------------------------------
+# Section 6.4 counterexample
+# ---------------------------------------------------------------------------
+
+def section64_utility(k: int):
+    def utility(types, actions):
+        bots = sum(1 for a in actions if a == BOT)
+        if bots >= k + 1:
+            value = 1.1
+        elif all(a in (0, BOT) for a in actions):
+            value = 1.0
+        elif all(a in (1, BOT) for a in actions):
+            value = 2.0
+        else:
+            value = 0.0
+        return [value] * len(actions)
+
+    return utility
+
+
+def section64_game(n: int, k: int = 1) -> GameSpec:
+    """The Section 6.4 game: A = {0, 1, ⊥}, n > 3k.
+
+    * ≥ k+1 players play ⊥  → everyone gets 1.1;
+    * ≤ k ⊥ and the rest all 0 → everyone gets 1;
+    * ≤ k ⊥ and the rest all 1 → everyone gets 2;
+    * otherwise → 0.
+
+    The mediator draws b uniform and recommends it to everyone; expected
+    equilibrium payoff 1.5. All-⊥ is a k-punishment (payoff 1.1 < 1.5), but
+    the *leaky* mediator of the paper additionally sends ``a + b·i mod 2``
+    first, letting a coalition {i, j} with i − j odd recover b and defect to
+    the punishment exactly when b = 0 (payoff 1.1 > 1). The spec's
+    ``mediator_fn`` is the minimal (non-leaky) mediator; the leaky message
+    schedule lives in ``repro.mediator.minimal.leaky_section64_mediator``.
+    """
+    if n <= 3 * k:
+        raise GameError("section 6.4 game requires n > 3k")
+    game = BayesianGame(
+        n=n,
+        action_sets=[[0, 1, BOT]] * n,
+        type_space=TypeSpace.single([0] * n),
+        utility=section64_utility(k),
+        name=f"section64(n={n},k={k})",
+    )
+
+    def mediator_fn(reports, rng):
+        b = rng.randrange(2)
+        return tuple(b for _ in range(n))
+
+    def mediator_dist(reports):
+        return {tuple(0 for _ in range(n)): 0.5, tuple(1 for _ in range(n)): 0.5}
+
+    return GameSpec(
+        name=game.name,
+        game=game,
+        mediator_fn=mediator_fn,
+        mediator_dist=mediator_dist,
+        type_encoding={0: 0},
+        action_decoding={0: 0, 1: 1, 2: BOT},
+        punishment=StrategyProfile([ConstantStrategy(BOT)] * n),
+        punishment_strength=k,
+        default_moves=lambda i, t: BOT,
+        notes="Paper Section 6.4 counterexample game.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Consensus / coordination
+# ---------------------------------------------------------------------------
+
+def _majority_payoff(n):
+    def utility(types, actions):
+        counts: dict[Any, int] = {}
+        for a in actions:
+            counts[a] = counts.get(a, 0) + 1
+        best = max(counts.values())
+        winners = {a for a, c in counts.items() if c == best}
+        return [1.0 if actions[i] in winners else 0.0 for i in range(n)]
+
+    return utility
+
+
+def consensus_game(n: int) -> GameSpec:
+    """Majority-matching game: u_i = 1 iff i's action is a plurality action.
+
+    With the mediator recommending a common random bit, everyone coordinates
+    and earns 1. Any coalition playing against an honest majority earns 0,
+    and no set of t < n/2 players can dislodge the honest majority — giving
+    (k,t)-robustness for k + t < n/2. Uniform-random play is a punishment
+    profile (expected payoff strictly below 1 for any small coalition).
+    """
+    game = BayesianGame(
+        n=n,
+        action_sets=[[0, 1]] * n,
+        type_space=TypeSpace.single([0] * n),
+        utility=_majority_payoff(n),
+        name=f"consensus(n={n})",
+    )
+
+    def mediator_fn(reports, rng):
+        b = rng.randrange(2)
+        return tuple(b for _ in range(n))
+
+    def mediator_dist(reports):
+        return {tuple(0 for _ in range(n)): 0.5, tuple(1 for _ in range(n)): 0.5}
+
+    return GameSpec(
+        name=game.name,
+        game=game,
+        mediator_fn=mediator_fn,
+        mediator_dist=mediator_dist,
+        type_encoding={0: 0},
+        action_decoding={0: 0, 1: 1},
+        punishment=StrategyProfile([UniformStrategy([0, 1])] * n),
+        punishment_strength=max(1, n // 3),
+        default_moves=lambda i, t: 0,
+        notes="Correlated coordination on a mediator coin.",
+    )
+
+
+def byzantine_agreement_game(n: int) -> GameSpec:
+    """Consensus game with input bits: the introduction's mediator example.
+
+    Types are independent uniform bits; the mediator recommends the majority
+    of reported bits (ties broken toward 0), and players are paid for
+    matching the plurality action, exactly as in :func:`consensus_game`.
+    Agreement on *any* common value yields payoff 1, so misreports move the
+    agreed value but cannot hurt outsiders — keeping t-immunity — while the
+    protocol-level tests separately check validity (majority of honest
+    reports wins when honest reports are unanimous).
+    """
+    game = BayesianGame(
+        n=n,
+        action_sets=[[0, 1]] * n,
+        type_space=TypeSpace.independent_uniform([[0, 1]] * n),
+        utility=_majority_payoff(n),
+        name=f"byz-agreement(n={n})",
+    )
+
+    def mediator_fn(reports, rng):
+        ones = sum(reports)
+        b = 1 if ones * 2 > len(reports) else 0
+        return tuple(b for _ in range(n))
+
+    def mediator_dist(reports):
+        ones = sum(reports)
+        b = 1 if ones * 2 > len(reports) else 0
+        return {tuple(b for _ in range(n)): 1.0}
+
+    return GameSpec(
+        name=game.name,
+        game=game,
+        mediator_fn=mediator_fn,
+        mediator_dist=mediator_dist,
+        type_encoding={0: 0, 1: 1},
+        action_decoding={0: 0, 1: 1},
+        punishment=StrategyProfile([UniformStrategy([0, 1])] * n),
+        punishment_strength=max(1, n // 3),
+        default_moves=lambda i, t: t,
+        notes="Byzantine agreement with a mediator (paper introduction).",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Rational secret reconstruction (Shamir types)
+# ---------------------------------------------------------------------------
+
+def shamir_secret_game(
+    n: int = 5, modulus: int = 5, degree: int = 2, exclusivity_bonus: float = 0.5
+) -> GameSpec:
+    """Rational secret reconstruction with Shamir-share types.
+
+    A degree-``degree`` polynomial over Z_modulus is drawn uniformly; player
+    i's type is its evaluation at i+1 and the secret is the constant term.
+    Players guess the secret: a correct guess pays 1, plus
+    ``exclusivity_bonus`` if at least one other player guessed wrong. The
+    mediator error-corrects the reported shares and recommends the secret.
+
+    No coalition of ≤ ``degree`` players learns anything alone, so the only
+    way to the payoff is through the mediator (or cheap talk) — the classic
+    rational-secret-sharing setting.
+    """
+    import itertools
+
+    xs = list(range(1, n + 1))
+    profiles = []
+    for coeffs in itertools.product(range(modulus), repeat=degree + 1):
+        shares = tuple(
+            sum(c * pow(x, j, modulus) for j, c in enumerate(coeffs)) % modulus
+            for x in xs
+        )
+        profiles.append(shares)
+    type_space = TypeSpace.uniform(profiles)
+
+    def secret_of(types) -> int:
+        from repro.field import GF, lagrange_interpolate
+
+        f = GF(modulus)
+        points = [(x, s) for x, s in zip(xs[: degree + 1], types[: degree + 1])]
+        return int(lagrange_interpolate(f, points)(0))
+
+    def utility(types, actions):
+        secret = secret_of(types)
+        correct = [a == secret for a in actions]
+        payoffs = []
+        for i in range(n):
+            if not correct[i]:
+                payoffs.append(0.0)
+                continue
+            others_wrong = any(not correct[j] for j in range(n) if j != i)
+            payoffs.append(1.0 + (exclusivity_bonus if others_wrong else 0.0))
+        return payoffs
+
+    game = BayesianGame(
+        n=n,
+        action_sets=[list(range(modulus))] * n,
+        type_space=type_space,
+        utility=utility,
+        name=f"shamir-secret(n={n},q={modulus},d={degree})",
+    )
+
+    def mediator_fn(reports, rng):
+        from repro.errors import DecodingError
+        from repro.field import GF, berlekamp_welch
+
+        f = GF(modulus)
+        max_errors = (n - degree - 1) // 2
+        try:
+            poly = berlekamp_welch(
+                f,
+                list(zip(xs, reports)),
+                degree=degree,
+                max_errors=max_errors,
+            )
+            secret = int(poly(0))
+        except DecodingError:
+            secret = 0  # detected cheating: fall back to a fixed value
+        return tuple(secret for _ in range(n))
+
+    def mediator_dist(reports):
+        import random as _random
+
+        return {mediator_fn(reports, _random.Random(0)): 1.0}
+
+    return GameSpec(
+        name=game.name,
+        game=game,
+        mediator_fn=mediator_fn,
+        mediator_dist=mediator_dist,
+        type_encoding={v: v for v in range(modulus)},
+        action_decoding={v: v for v in range(modulus)},
+        punishment=None,
+        default_moves=lambda i, t: 0,
+        notes="Rational secret reconstruction; exclusivity bonus attack surface.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Chicken (2-player correlated equilibrium; EGL baseline workload)
+# ---------------------------------------------------------------------------
+
+CHICKEN_PAYOFFS = {
+    ("D", "D"): (0.0, 0.0),
+    ("D", "C"): (7.0, 2.0),
+    ("C", "D"): (2.0, 7.0),
+    ("C", "C"): (6.0, 6.0),
+}
+
+
+def chicken_game() -> GameSpec:
+    """Aumann's game of chicken with the classic correlated equilibrium.
+
+    The mediator draws one of (C,C), (C,D), (D,C) uniformly and privately
+    recommends each player its component. Obedience is an equilibrium and
+    the expected payoff (5.0 each) beats the mixed Nash.
+    """
+    game = BayesianGame(
+        n=2,
+        action_sets=[["D", "C"], ["D", "C"]],
+        type_space=TypeSpace.single([0, 0]),
+        utility=lambda types, actions: CHICKEN_PAYOFFS[tuple(actions)],
+        name="chicken",
+    )
+
+    cells = [("C", "C"), ("C", "D"), ("D", "C")]
+
+    def mediator_fn(reports, rng):
+        return cells[rng.randrange(3)]
+
+    def mediator_dist(reports):
+        return {cell: 1.0 / 3.0 for cell in cells}
+
+    return GameSpec(
+        name="chicken",
+        game=game,
+        mediator_fn=mediator_fn,
+        mediator_dist=mediator_dist,
+        type_encoding={0: 0},
+        action_decoding={0: "D", 1: "C"},
+        punishment=StrategyProfile([ConstantStrategy("D")] * 2),
+        punishment_strength=1,
+        default_moves=lambda i, t: "D",
+        notes="Correlated equilibrium exceeding the Nash hull; EGL workload.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Free riding (introduction motivation)
+# ---------------------------------------------------------------------------
+
+def free_rider_game(
+    n: int = 4, sharers_needed: int = 2, benefit: float = 2.0, cost: float = 1.0
+) -> GameSpec:
+    """Gnutella-style sharing game (paper introduction).
+
+    Everyone receives ``benefit`` if at least ``sharers_needed`` players
+    share; sharing costs ``cost``. The mediator rotates duty: it draws a
+    uniformly random set of exactly ``sharers_needed`` players and
+    recommends "share" to them. Parameters are chosen pivotal
+    (``benefit > cost``) so obedience is a Nash equilibrium (k=1, t=0).
+    """
+    if sharers_needed < 1 or sharers_needed > n:
+        raise GameError("sharers_needed out of range")
+
+    def utility(types, actions):
+        sharing = sum(1 for a in actions if a == "share")
+        base = benefit if sharing >= sharers_needed else 0.0
+        return [base - (cost if actions[i] == "share" else 0.0) for i in range(n)]
+
+    game = BayesianGame(
+        n=n,
+        action_sets=[["share", "ride"]] * n,
+        type_space=TypeSpace.single([0] * n),
+        utility=utility,
+        name=f"free-rider(n={n},m={sharers_needed})",
+    )
+
+    import itertools
+
+    subsets = list(itertools.combinations(range(n), sharers_needed))
+
+    def mediator_fn(reports, rng):
+        chosen = subsets[rng.randrange(len(subsets))]
+        return tuple("share" if i in chosen else "ride" for i in range(n))
+
+    def mediator_dist(reports):
+        prob = 1.0 / len(subsets)
+        return {
+            tuple("share" if i in chosen else "ride" for i in range(n)): prob
+            for chosen in subsets
+        }
+
+    return GameSpec(
+        name=game.name,
+        game=game,
+        mediator_fn=mediator_fn,
+        mediator_dist=mediator_dist,
+        type_encoding={0: 0},
+        action_decoding={0: "share", 1: "ride"},
+        punishment=StrategyProfile([ConstantStrategy("ride")] * n),
+        punishment_strength=1,
+        default_moves=lambda i, t: "ride",
+        notes="Mediator rotates sharing duty (Kazaa/Gnutella motivation).",
+    )
+
+
+ALL_SPECS: dict[str, Callable[..., GameSpec]] = {
+    "section64": section64_game,
+    "consensus": consensus_game,
+    "byzantine-agreement": byzantine_agreement_game,
+    "shamir-secret": shamir_secret_game,
+    "chicken": chicken_game,
+    "free-rider": free_rider_game,
+}

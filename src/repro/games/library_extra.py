@@ -1,0 +1,226 @@
+"""Additional games: volunteering, public goods, battle of the sexes, minority.
+
+These extend the core library (:mod:`repro.games.library`) with further
+mediator-shaped coordination problems used by the extended experiments and
+examples. Each follows the same :class:`~repro.games.library.GameSpec`
+contract: an exact ``mediator_dist``, encodings, and (where meaningful) a
+punishment profile.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.errors import GameError
+from repro.games.bayesian import BayesianGame, TypeSpace
+from repro.games.library import GameSpec
+from repro.games.strategies import ConstantStrategy, StrategyProfile, UniformStrategy
+
+
+def volunteer_game(n: int = 5, benefit: float = 2.0, cost: float = 1.2) -> GameSpec:
+    """Volunteer's dilemma with a rotating mediator.
+
+    Everyone gets ``benefit`` if at least one player volunteers; the
+    volunteer pays ``cost`` < ``benefit``. Without coordination the mixed
+    equilibrium wastes value on duplicated or missing volunteers; the
+    mediator picks exactly one volunteer uniformly. Obedience is an
+    equilibrium because an appointed volunteer who shirks risks the
+    no-volunteer outcome (it is the only appointee).
+    """
+    if not 0 < cost < benefit:
+        raise GameError("need 0 < cost < benefit")
+
+    def utility(types, actions):
+        volunteers = [i for i, a in enumerate(actions) if a == "go"]
+        base = benefit if volunteers else 0.0
+        return [
+            base - (cost if i in volunteers else 0.0) for i in range(n)
+        ]
+
+    game = BayesianGame(
+        n=n,
+        action_sets=[["go", "stay"]] * n,
+        type_space=TypeSpace.single([0] * n),
+        utility=utility,
+        name=f"volunteer(n={n})",
+    )
+
+    def mediator_fn(reports, rng):
+        chosen = rng.randrange(n)
+        return tuple("go" if i == chosen else "stay" for i in range(n))
+
+    def mediator_dist(reports):
+        prob = 1.0 / n
+        return {
+            tuple("go" if i == chosen else "stay" for i in range(n)): prob
+            for chosen in range(n)
+        }
+
+    return GameSpec(
+        name=game.name,
+        game=game,
+        mediator_fn=mediator_fn,
+        mediator_dist=mediator_dist,
+        type_encoding={0: 0},
+        action_decoding={0: "go", 1: "stay"},
+        punishment=StrategyProfile([ConstantStrategy("stay")] * n),
+        punishment_strength=1,
+        default_moves=lambda i, t: "stay",
+        notes="Mediator appoints exactly one volunteer.",
+    )
+
+
+def battle_of_sexes() -> GameSpec:
+    """Battle of the sexes with a fair public-coin mediator.
+
+    Payoffs: coordinating on player 0's favourite gives (3,2); on player
+    1's favourite (2,3); miscoordination gives (0,0). The mediator flips a
+    fair coin between the two pure equilibria — the textbook use of a
+    correlated device for equity.
+    """
+    payoffs = {
+        ("A", "A"): (3.0, 2.0),
+        ("B", "B"): (2.0, 3.0),
+        ("A", "B"): (0.0, 0.0),
+        ("B", "A"): (0.0, 0.0),
+    }
+    game = BayesianGame(
+        n=2,
+        action_sets=[["A", "B"], ["A", "B"]],
+        type_space=TypeSpace.single([0, 0]),
+        utility=lambda t, a: payoffs[tuple(a)],
+        name="battle-of-sexes",
+    )
+
+    def mediator_fn(reports, rng):
+        return ("A", "A") if rng.randrange(2) == 0 else ("B", "B")
+
+    def mediator_dist(reports):
+        return {("A", "A"): 0.5, ("B", "B"): 0.5}
+
+    return GameSpec(
+        name="battle-of-sexes",
+        game=game,
+        mediator_fn=mediator_fn,
+        mediator_dist=mediator_dist,
+        type_encoding={0: 0},
+        action_decoding={0: "A", 1: "B"},
+        punishment=None,
+        default_moves=lambda i, t: "A",
+        notes="Fair coin between the two pure equilibria.",
+    )
+
+
+def public_goods_game(
+    n: int = 6, threshold: int = 4, pot: float = 6.0, cost: float = 1.0
+) -> GameSpec:
+    """Threshold public-goods game with mediator-assigned contributors.
+
+    The pot (``pot`` split equally) is produced iff at least ``threshold``
+    players contribute (each paying ``cost``). The mediator draws exactly
+    ``threshold`` contributors uniformly. Parameters are pivotal: a
+    designated contributor who shirks forfeits the pot share, which
+    outweighs the saved cost when pot/n > cost.
+    """
+    if not threshold <= n:
+        raise GameError("threshold must be <= n")
+    if pot / n <= cost:
+        raise GameError("need pot/n > cost for pivotality")
+
+    def utility(types, actions):
+        contributors = sum(1 for a in actions if a == "contribute")
+        share = pot / n if contributors >= threshold else 0.0
+        return [
+            share - (cost if actions[i] == "contribute" else 0.0)
+            for i in range(n)
+        ]
+
+    game = BayesianGame(
+        n=n,
+        action_sets=[["contribute", "defect"]] * n,
+        type_space=TypeSpace.single([0] * n),
+        utility=utility,
+        name=f"public-goods(n={n},m={threshold})",
+    )
+    subsets = list(itertools.combinations(range(n), threshold))
+
+    def mediator_fn(reports, rng):
+        chosen = subsets[rng.randrange(len(subsets))]
+        return tuple(
+            "contribute" if i in chosen else "defect" for i in range(n)
+        )
+
+    def mediator_dist(reports):
+        prob = 1.0 / len(subsets)
+        return {
+            tuple(
+                "contribute" if i in chosen else "defect" for i in range(n)
+            ): prob
+            for chosen in subsets
+        }
+
+    return GameSpec(
+        name=game.name,
+        game=game,
+        mediator_fn=mediator_fn,
+        mediator_dist=mediator_dist,
+        type_encoding={0: 0},
+        action_decoding={0: "contribute", 1: "defect"},
+        punishment=StrategyProfile([ConstantStrategy("defect")] * n),
+        punishment_strength=1,
+        default_moves=lambda i, t: "defect",
+        notes="Mediator assigns exactly `threshold` contributors.",
+    )
+
+
+def minority_game(n: int = 5) -> GameSpec:
+    """Odd-player minority game balanced by the mediator.
+
+    Each of an odd number of players picks a side; players on the minority
+    side earn 1. The mediator draws a uniformly random split with exactly
+    ``(n-1)/2`` players on side 1 (the largest possible minority) and tells
+    each player its side — maximising total welfare while keeping every
+    player's ex-ante payoff equal.
+    """
+    if n % 2 == 0:
+        raise GameError("minority game needs an odd player count")
+
+    def utility(types, actions):
+        ones = sum(1 for a in actions if a == 1)
+        minority = 1 if ones * 2 < n else 0
+        return [1.0 if actions[i] == minority else 0.0 for i in range(n)]
+
+    game = BayesianGame(
+        n=n,
+        action_sets=[[0, 1]] * n,
+        type_space=TypeSpace.single([0] * n),
+        utility=utility,
+        name=f"minority(n={n})",
+    )
+    size = (n - 1) // 2
+    subsets = list(itertools.combinations(range(n), size))
+
+    def mediator_fn(reports, rng):
+        chosen = subsets[rng.randrange(len(subsets))]
+        return tuple(1 if i in chosen else 0 for i in range(n))
+
+    def mediator_dist(reports):
+        prob = 1.0 / len(subsets)
+        return {
+            tuple(1 if i in chosen else 0 for i in range(n)): prob
+            for chosen in subsets
+        }
+
+    return GameSpec(
+        name=game.name,
+        game=game,
+        mediator_fn=mediator_fn,
+        mediator_dist=mediator_dist,
+        type_encoding={0: 0},
+        action_decoding={0: 0, 1: 1},
+        punishment=StrategyProfile([UniformStrategy([0, 1])] * n),
+        punishment_strength=1,
+        default_moves=lambda i, t: 0,
+        notes="Mediator assigns the largest possible minority.",
+    )

@@ -1,0 +1,205 @@
+"""Strategies and strategy profiles in the underlying Bayesian game.
+
+A strategy for player ``i`` maps ``i``'s type to a distribution over ``i``'s
+actions. The profile object computes product distributions over action
+profiles, which is all the exact solution-concept checkers need.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import StrategyError
+
+
+class Strategy:
+    """Base class: a map from own type to a distribution over actions."""
+
+    def distribution(self, own_type: Any) -> dict[Any, float]:
+        raise NotImplementedError
+
+    def sample(self, own_type: Any, rng) -> Any:
+        dist = self.distribution(own_type)
+        roll = rng.random()
+        acc = 0.0
+        for action, prob in dist.items():
+            acc += prob
+            if roll <= acc:
+                return action
+        return list(dist)[-1]
+
+
+class PureStrategy(Strategy):
+    """Deterministic strategy: ``fn(own_type) -> action``."""
+
+    def __init__(self, fn: Callable[[Any], Any]) -> None:
+        self.fn = fn
+
+    @staticmethod
+    def constant_map(mapping: Mapping[Any, Any]) -> "PureStrategy":
+        return PureStrategy(lambda t: mapping[t])
+
+    def action(self, own_type: Any) -> Any:
+        return self.fn(own_type)
+
+    def distribution(self, own_type: Any) -> dict[Any, float]:
+        return {self.fn(own_type): 1.0}
+
+
+class ConstantStrategy(PureStrategy):
+    """Always play the same action regardless of type."""
+
+    def __init__(self, action: Any) -> None:
+        super().__init__(lambda _t: action)
+        self.fixed_action = action
+
+    def __repr__(self) -> str:
+        return f"ConstantStrategy({self.fixed_action!r})"
+
+
+class MixedStrategy(Strategy):
+    """Randomized strategy: ``fn(own_type) -> dict[action, prob]``."""
+
+    def __init__(self, fn: Callable[[Any], dict[Any, float]]) -> None:
+        self.fn = fn
+
+    def distribution(self, own_type: Any) -> dict[Any, float]:
+        dist = self.fn(own_type)
+        total = sum(dist.values())
+        if abs(total - 1.0) > 1e-9:
+            raise StrategyError(f"strategy distribution sums to {total}")
+        return dist
+
+
+class UniformStrategy(MixedStrategy):
+    """Uniform over a fixed action set (a common punishment building block)."""
+
+    def __init__(self, actions: Sequence[Any]) -> None:
+        actions = list(actions)
+        prob = 1.0 / len(actions)
+        super().__init__(lambda _t: {a: prob for a in actions})
+        self.actions = actions
+
+
+class StrategyProfile:
+    """A tuple of strategies, one per player."""
+
+    def __init__(self, strategies: Sequence[Strategy]) -> None:
+        self.strategies = list(strategies)
+
+    @property
+    def n(self) -> int:
+        return len(self.strategies)
+
+    def __getitem__(self, i: int) -> Strategy:
+        return self.strategies[i]
+
+    def __iter__(self):
+        return iter(self.strategies)
+
+    def replace(self, assignments: Mapping[int, Strategy]) -> "StrategyProfile":
+        """The profile (σ_-K, τ_K): players in ``assignments`` switch."""
+        new = list(self.strategies)
+        for i, strategy in assignments.items():
+            new[i] = strategy
+        return StrategyProfile(new)
+
+    def action_distribution(self, types: Sequence[Any]) -> dict[tuple, float]:
+        """Joint distribution over action profiles given a type profile.
+
+        Independent across players (deviating coalitions that correlate are
+        modelled as a single joint deviation object — see
+        :class:`JointDeviation`).
+        """
+        per_player = [
+            strategy.distribution(types[i])
+            for i, strategy in enumerate(self.strategies)
+        ]
+        result: dict[tuple, float] = {}
+        for combo in itertools.product(*(d.items() for d in per_player)):
+            actions = tuple(a for a, _ in combo)
+            prob = 1.0
+            for _, p in combo:
+                prob *= p
+            if prob > 0:
+                result[actions] = result.get(actions, 0.0) + prob
+        return result
+
+
+class JointDeviation:
+    """A correlated deviation for a coalition K.
+
+    Maps the coalition's joint type profile x_K to a joint distribution over
+    the coalition's action tuples. Coalition members share type information
+    (Definition 3.1's "even if they share their type information") and may
+    correlate their randomness — both are captured here.
+    """
+
+    def __init__(
+        self,
+        coalition: Sequence[int],
+        fn: Callable[[tuple], dict[tuple, float]],
+    ) -> None:
+        self.coalition = tuple(coalition)
+        self.fn = fn
+
+    @staticmethod
+    def pure(coalition: Sequence[int], mapping: Mapping[tuple, tuple]) -> "JointDeviation":
+        return JointDeviation(coalition, lambda x_k: {mapping[tuple(x_k)]: 1.0})
+
+    def distribution(self, x_k: tuple) -> dict[tuple, float]:
+        return self.fn(tuple(x_k))
+
+
+def joint_action_distribution(
+    profile: StrategyProfile,
+    deviations: Sequence[JointDeviation],
+    types: Sequence[Any],
+) -> dict[tuple, float]:
+    """Joint distribution over action profiles with coalition deviations.
+
+    Coalition members' actions come from their joint deviation; everyone
+    else plays their profile strategy independently.
+    """
+    deviating = {}
+    for deviation in deviations:
+        for i in deviation.coalition:
+            if i in deviating:
+                raise StrategyError(f"player {i} in two deviations")
+            deviating[i] = deviation
+
+    coalition_dists = []
+    for deviation in deviations:
+        x_k = tuple(types[i] for i in deviation.coalition)
+        coalition_dists.append(
+            (deviation.coalition, deviation.distribution(x_k))
+        )
+    loyal = [i for i in range(profile.n) if i not in deviating]
+    loyal_dists = [
+        (i, profile[i].distribution(types[i])) for i in loyal
+    ]
+
+    result: dict[tuple, float] = {}
+    coalition_choices = [list(dist.items()) for _, dist in coalition_dists]
+    loyal_choices = [list(dist.items()) for _, dist in loyal_dists]
+    for coalition_combo in itertools.product(*coalition_choices):
+        base_prob = 1.0
+        assignment: dict[int, Any] = {}
+        for (members, _), (actions, prob) in zip(coalition_dists, coalition_combo):
+            base_prob *= prob
+            for member, action in zip(members, actions):
+                assignment[member] = action
+        if base_prob == 0:
+            continue
+        for loyal_combo in itertools.product(*loyal_choices):
+            prob = base_prob
+            full = dict(assignment)
+            for (i, _), (action, p) in zip(loyal_dists, loyal_combo):
+                prob *= p
+                full[i] = action
+            if prob == 0:
+                continue
+            ordered = tuple(full[i] for i in range(profile.n))
+            result[ordered] = result.get(ordered, 0.0) + prob
+    return result

@@ -1,0 +1,29 @@
+"""Mediator games: canonical-form mediators extending an underlying game."""
+
+from repro.mediator.protocol import (
+    MEDIATOR_ROUNDS_DEFAULT,
+    FnMediator,
+    HonestMediatorPlayer,
+    mediator_pid,
+)
+from repro.mediator.games import MediatorGame
+from repro.mediator.canonical import check_canonical_form
+from repro.mediator.ideal import check_ideal_mediator_robustness
+from repro.mediator.minimal import (
+    LeakySection64Mediator,
+    MinimalMediator,
+    minimally_informative,
+)
+
+__all__ = [
+    "MEDIATOR_ROUNDS_DEFAULT",
+    "FnMediator",
+    "HonestMediatorPlayer",
+    "mediator_pid",
+    "MediatorGame",
+    "check_canonical_form",
+    "check_ideal_mediator_robustness",
+    "LeakySection64Mediator",
+    "MinimalMediator",
+    "minimally_informative",
+]

@@ -1,0 +1,104 @@
+"""Canonical-form verification for mediator-game runs (paper, Section 2).
+
+Given a run trace (with payloads recorded), :func:`check_canonical_form`
+verifies the restrictions the paper places on honest players and the
+mediator:
+
+* honest players send only to the mediator: one initial message plus one
+  response per non-STOP mediator message;
+* the mediator sends each player at most ``r`` messages, and its final
+  message to each player includes STOP;
+* all STOP messages are emitted in a single batch (required for the
+  all-or-none rule that relaxed schedulers must obey, Lemma 6.10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.runtime import RunResult
+
+
+@dataclass
+class CanonicalReport:
+    ok: bool
+    problems: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_canonical_form(
+    result: RunResult,
+    n: int,
+    mediator: int,
+    max_rounds: int,
+    honest: set[int] | None = None,
+) -> CanonicalReport:
+    """Verify the canonical-form constraints on a recorded run.
+
+    Requires the run to have been executed with ``record_payloads=True``.
+    ``honest`` restricts the player-side checks to those pids (deviators are
+    exempt from canonical form by definition).
+    """
+    report = CanonicalReport(ok=True)
+    honest = set(range(n)) if honest is None else set(honest)
+
+    sends = [e for e in result.trace.sends()]
+    if any(e.payload is None for e in sends):
+        report.ok = False
+        report.problems.append("trace lacks payloads; run with record_payloads")
+        return report
+
+    med_to_player: dict[int, list] = {p: [] for p in range(n)}
+    player_to_med: dict[int, list] = {p: [] for p in range(n)}
+    stop_batch_steps: set[int] = set()
+    for event in sends:
+        if event.sender == mediator and event.recipient in med_to_player:
+            med_to_player[event.recipient].append(event)
+            if isinstance(event.payload, tuple) and event.payload[0] == "stop":
+                stop_batch_steps.add(event.step)
+        elif event.sender in honest:
+            if event.recipient != mediator:
+                report.ok = False
+                report.problems.append(
+                    f"honest player {event.sender} sent to {event.recipient}"
+                )
+            else:
+                player_to_med[event.sender].append(event)
+
+    for pid, events in med_to_player.items():
+        if len(events) > max_rounds + 1:
+            report.ok = False
+            report.problems.append(
+                f"mediator sent {len(events)} messages to {pid} "
+                f"(bound {max_rounds + 1})"
+            )
+        if events:
+            last = events[-1]
+            if not (isinstance(last.payload, tuple) and last.payload[0] == "stop"):
+                report.ok = False
+                report.problems.append(
+                    f"mediator's final message to {pid} is not STOP"
+                )
+
+    if len(stop_batch_steps) > 1:
+        report.ok = False
+        report.problems.append(
+            f"STOP messages span {len(stop_batch_steps)} steps (must be one batch)"
+        )
+
+    for pid in honest:
+        sent = len(player_to_med.get(pid, []))
+        received_non_stop = sum(
+            1
+            for e in med_to_player.get(pid, [])
+            if not (isinstance(e.payload, tuple) and e.payload[0] == "stop")
+        )
+        if sent > received_non_stop + 1:
+            report.ok = False
+            report.problems.append(
+                f"player {pid} sent {sent} messages but only "
+                f"{received_non_stop} non-STOP prompts arrived"
+            )
+    return report

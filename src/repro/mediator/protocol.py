@@ -1,0 +1,182 @@
+"""Canonical-form mediator and player processes (paper, Section 2).
+
+Canonical form: the honest player sends an initial message to the mediator
+and afterwards *only* responds to mediator messages that do not include
+STOP; upon a STOP message it makes its move in the underlying game and
+halts. The mediator sends each player at most ``r`` messages, the last of
+which includes STOP. All STOP messages are sent in one step (one batch), so
+a relaxed scheduler must deliver all or none of them — the premise of the
+deadlock characterisation in Lemma 6.10.
+
+Message shapes:
+
+* player → mediator: ``("report", round, type_value)``
+* mediator → player: ``("round", round, info)`` then ``("stop", action)``
+
+``info`` is ``None`` for honest mediators; the Section 6.4 *leaky* mediator
+puts ``a + b·i`` there (see :mod:`repro.mediator.minimal`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import MediatorError
+from repro.games.library import GameSpec
+from repro.sim.process import Context, Process
+
+MEDIATOR_ROUNDS_DEFAULT = 1
+
+
+def mediator_pid(n: int) -> int:
+    """The mediator's process id in an n-player mediator game."""
+    return n
+
+
+class HonestMediatorPlayer(Process):
+    """The canonical honest player strategy in the mediator game."""
+
+    def __init__(
+        self,
+        spec: GameSpec,
+        pid: int,
+        own_type: Any,
+        will: Optional[Callable[[int, Any], Any]] = None,
+    ) -> None:
+        self.spec = spec
+        self.pid = pid
+        self.own_type = own_type
+        self.will = will
+        self._mediator = mediator_pid(spec.game.n)
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.send(self._mediator, ("report", 0, self.own_type))
+
+    def on_message(self, ctx: Context, sender: int, payload: Any) -> None:
+        if sender != self._mediator or not isinstance(payload, tuple):
+            return  # honest players ignore non-mediator chatter
+        kind = payload[0]
+        if kind == "round":
+            ctx.send(self._mediator, ("report", payload[1], self.own_type))
+        elif kind == "stop":
+            action = payload[1]
+            if not ctx.has_output():
+                ctx.output(action)
+            ctx.halt()
+
+    def on_deadlock(self, pid: int) -> Optional[Any]:
+        """AH approach: the move left with the executor (the *will*)."""
+        if self.will is None:
+            return None
+        return self.will(self.pid, self.own_type)
+
+
+class FnMediator(Process):
+    """Canonical-form mediator computing ``spec.mediator_fn`` on reports.
+
+    Waits for round-0 reports from a quorum of ``n - k - t`` players, walks
+    them through ``rounds - 1`` further report rounds (validating that each
+    player repeats the same type), then sends every player its recommended
+    action in a single STOP batch. Missing or invalid reporters are replaced
+    by the spec's default type (their own report is ignored — the paper's
+    mediator likewise extends the received profile arbitrarily).
+    """
+
+    def __init__(
+        self,
+        spec: GameSpec,
+        k: int,
+        t: int,
+        rounds: int = MEDIATOR_ROUNDS_DEFAULT,
+        default_type: Optional[Callable[[int], Any]] = None,
+        round_info: Optional[Callable[[Any, int, int], Any]] = None,
+    ) -> None:
+        if rounds < 1:
+            raise MediatorError("mediator needs at least one round")
+        self.spec = spec
+        self.n = spec.game.n
+        self.quorum = self.n - k - t
+        if self.quorum < 1:
+            raise MediatorError(f"quorum n-k-t = {self.quorum} must be >= 1")
+        self.rounds = rounds
+        self.default_type = default_type or (
+            lambda pid: spec.game.type_space.profiles()[0][pid]
+        )
+        self.round_info = round_info
+        self.reports: dict[int, dict[int, Any]] = {}
+        self.current_round = 0
+        self.stopped = False
+        self._round_state: Any = None
+
+    # -- helpers -----------------------------------------------------------
+
+    def _complete_through(self, r: int) -> list[int]:
+        """Players with valid, consistent reports for rounds 0..r."""
+        out = []
+        for pid in range(self.n):
+            values = [
+                self.reports.get(rr, {}).get(pid) for rr in range(r + 1)
+            ]
+            if any(v is None for v in values):
+                continue
+            if len({repr(v) for v in values}) != 1:
+                continue  # inconsistent across rounds: invalid
+            if values[0] not in self.spec.game.type_space.player_types(pid):
+                continue  # not a type this player could have
+            out.append(pid)
+        return out
+
+    def _advance(self, ctx: Context) -> None:
+        if self.stopped:
+            return
+        while True:
+            complete = self._complete_through(self.current_round)
+            if len(complete) < self.quorum:
+                return
+            if self.current_round < self.rounds - 1:
+                self.current_round += 1
+                next_round = self.current_round
+                for pid in range(self.n):
+                    info = None
+                    if self.round_info is not None:
+                        info = self.round_info(self, next_round, pid)
+                    ctx.send(pid, ("round", next_round, info))
+                return
+            self._finalize(ctx, complete)
+            return
+
+    def _finalize(self, ctx: Context, complete: list[int]) -> None:
+        self.stopped = True
+        profile = tuple(
+            self.reports[0][pid] if pid in complete else self.default_type(pid)
+            for pid in range(self.n)
+        )
+        actions = self.compute_actions(ctx, profile)
+        for pid in range(self.n):
+            ctx.send(pid, ("stop", actions[pid]))
+        ctx.halt()
+
+    def compute_actions(self, ctx: Context, profile: tuple) -> tuple:
+        """Hook: the recommendation profile (override for leaky variants)."""
+        return tuple(self.spec.mediator_fn(profile, ctx.rng))
+
+    # -- Process interface ---------------------------------------------------
+
+    def on_message(self, ctx: Context, sender: int, payload: Any) -> None:
+        if self.stopped:
+            return
+        if (
+            not isinstance(payload, tuple)
+            or len(payload) != 3
+            or payload[0] != "report"
+            or not (0 <= sender < self.n)
+        ):
+            return  # malformed: ignore
+        _, r, value = payload
+        if not isinstance(r, int) or not (0 <= r < self.rounds):
+            return
+        bucket = self.reports.setdefault(r, {})
+        if sender in bucket:
+            return  # duplicate round report: first one wins
+        bucket[sender] = value
+        self._advance(ctx)

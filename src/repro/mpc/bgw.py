@@ -1,0 +1,245 @@
+"""Synchronous BGW-style MPC engine (the R1 baseline substrate).
+
+Evaluates the same :class:`repro.circuits.Circuit` objects as the
+asynchronous engines, but in lock-step rounds over the synchronous runtime:
+
+* round 0 — every input player broadcasts δ_p = x_p − r_p over the model's
+  broadcast channel (no RBC needed: synchrony grants agreement);
+* one round per multiplication *layer* — parties exchange their d = x − a
+  and e = y − b shares for every multiplication in the layer; reconstruction
+  uses Berlekamp–Welch error correction, so t < n/3 wrong shares are
+  corrected (the sync model receives all honest shares every round, which
+  is why the synchronous bound is a full k+t better than Theorem 4.1's);
+* final round — output shares are sent privately to their recipients.
+
+Shares, triples, randomness, and the affine wire representation are shared
+with the asynchronous engines (:class:`~repro.mpc.engine.WireShare`,
+:class:`~repro.mpc.setup.TrustedSetup`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.circuits import Circuit
+from repro.errors import ProtocolError
+from repro.field import GF
+from repro.mpc.engine import WireShare
+from repro.mpc.setup import SetupPack
+from repro.mpc.shamir import robust_reconstruct, x_of
+from repro.sim.sync import SyncContext, SyncProcess
+
+
+def multiplication_layers(circuit: Circuit) -> list[list[int]]:
+    """Group mul gates by multiplicative depth (wires of earlier layers
+    plus linear combinations feed later layers)."""
+    depth = [0] * circuit.size
+    layers: dict[int, list[int]] = {}
+    for wire, gate in enumerate(circuit.gates):
+        arg_depth = max((depth[a] for a in gate.args), default=0)
+        if gate.op == "mul":
+            depth[wire] = arg_depth + 1
+            layers.setdefault(arg_depth + 1, []).append(wire)
+        else:
+            depth[wire] = arg_depth
+    return [layers[d] for d in sorted(layers)]
+
+
+class BgwParty(SyncProcess):
+    """One party of the synchronous engine."""
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        t: int,
+        field: GF,
+        circuit: Circuit,
+        pack: SetupPack,
+        my_input: Optional[int],
+        default_inputs: dict[int, int],
+    ) -> None:
+        if n <= 3 * t and t > 0:
+            raise ProtocolError(f"bgw engine needs n > 3t (n={n}, t={t})")
+        self.pid = pid
+        self.n = n
+        self.t = t
+        self.field = field
+        self.circuit = circuit
+        self.pack = pack
+        self.my_input = my_input
+        self.default_inputs = default_inputs
+        self.deltas: dict[int, Any] = {}
+        self.wires: list[Optional[WireShare]] = [None] * circuit.size
+        self.layers = multiplication_layers(circuit)
+        self.layer_index = 0
+        self.opened: dict[tuple, Any] = {}
+        self._mul_triple: dict[int, int] = {}
+        k = 0
+        for wire, gate in enumerate(circuit.gates):
+            if gate.op == "mul":
+                self._mul_triple[wire] = k
+                k += 1
+        self.result: Optional[dict[str, int]] = None
+        self._out_shares: dict[str, dict[int, Any]] = {}
+        self._outputs_sent = False
+
+    # -- linear evaluation up to the current frontier -----------------------
+
+    def _evaluate_available(self) -> None:
+        for wire, gate in enumerate(self.circuit.gates):
+            if self.wires[wire] is not None:
+                continue
+            op = gate.op
+            if op == "input":
+                if gate.param in self.deltas:
+                    self.wires[wire] = WireShare.base(
+                        self.field, ("mask", gate.param)
+                    ).shift(self.deltas[gate.param])
+                continue
+            if op == "const":
+                self.wires[wire] = WireShare.constant(self.field, gate.param)
+            elif op in ("add", "sub"):
+                a, b = self.wires[gate.args[0]], self.wires[gate.args[1]]
+                if a is not None and b is not None:
+                    self.wires[wire] = a + b if op == "add" else a - b
+            elif op == "smul":
+                a = self.wires[gate.args[0]]
+                if a is not None:
+                    self.wires[wire] = a.scale(gate.param)
+            elif op == "sadd":
+                a = self.wires[gate.args[0]]
+                if a is not None:
+                    self.wires[wire] = a.shift(gate.param)
+            elif op in ("rand", "randbit", "randint"):
+                self.wires[wire] = WireShare.base(self.field, (op, wire))
+            elif op == "mul":
+                d = self.opened.get(("d", wire))
+                e = self.opened.get(("e", wire))
+                if d is None or e is None:
+                    continue
+                k = self._mul_triple[wire]
+                a = WireShare.base(self.field, ("triple", k, "a"))
+                b = WireShare.base(self.field, ("triple", k, "b"))
+                c = WireShare.base(self.field, ("triple", k, "c"))
+                self.wires[wire] = (b.scale(d) + a.scale(e) + c).shift(d * e)
+
+    # -- round protocol ------------------------------------------------------
+
+    def on_round(self, ctx: SyncContext, inbox: list[tuple[int, Any]]) -> None:
+        collected: dict[tuple, dict[int, Any]] = {}
+        for sender, payload in inbox:
+            if not isinstance(payload, tuple):
+                continue
+            kind = payload[0]
+            if kind == "delta":
+                self.deltas[payload[1]] = self.field(int(payload[2]))
+            elif kind == "dsh":
+                _, key, value = payload
+                collected.setdefault(tuple(key), {})[sender] = self.field(
+                    int(value)
+                )
+            elif kind == "osh":
+                _, label, value = payload
+                self._out_shares.setdefault(label, {})[sender] = self.field(
+                    int(value)
+                )
+
+        for key, shares in collected.items():
+            if key in self.opened:
+                continue
+            value = robust_reconstruct(
+                self.field, shares, self.t, self.n, self.t
+            )
+            if value is None:
+                raise ProtocolError(
+                    f"sync opening {key} unreconstructible (round {ctx.round})"
+                )
+            self.opened[key] = value
+
+        if ctx.round == 0:
+            input_players = self.circuit.input_players()
+            for p in input_players:
+                if p not in self.default_inputs:
+                    self.default_inputs[p] = 0
+            if self.pid in input_players:
+                if self.my_input is None:
+                    raise ProtocolError(f"party {self.pid} has no input")
+                mask = self.pack.private_values.get(("mask", self.pid))
+                if mask is None:
+                    raise ProtocolError(f"party {self.pid} lacks its mask")
+                delta = self.field(self.my_input) - mask
+                ctx.broadcast(("delta", self.pid, int(delta)))
+            if input_players:
+                return  # wait for the delta round before evaluating
+
+        if ctx.round == 1:
+            # A player that failed to broadcast its delta in round 0 is
+            # crashed (synchrony detects this): its input wire becomes the
+            # public default constant.
+            for p in self.circuit.input_players():
+                if p in self.deltas:
+                    continue
+                for wire, gate in enumerate(self.circuit.gates):
+                    if gate.op == "input" and gate.param == p:
+                        self.wires[wire] = WireShare.constant(
+                            self.field, self.default_inputs[p]
+                        )
+
+        # Advance through multiplication layers: evaluate what is local,
+        # publish the next layer's d/e shares once its operands are ready,
+        # and consume opened layers immediately so one round can both close
+        # a layer and publish the next one's shares.
+        while True:
+            self._evaluate_available()
+            if self.layer_index >= len(self.layers):
+                break
+            layer = self.layers[self.layer_index]
+            published = all(("d", w) in self.opened for w in layer)
+            if published:
+                self.layer_index += 1
+                continue
+            ready = all(
+                self.wires[self.circuit.gates[w].args[0]] is not None
+                and self.wires[self.circuit.gates[w].args[1]] is not None
+                for w in layer
+            )
+            if ready:
+                for w in layer:
+                    gate = self.circuit.gates[w]
+                    x = self.wires[gate.args[0]]
+                    y = self.wires[gate.args[1]]
+                    k = self._mul_triple[w]
+                    a = WireShare.base(self.field, ("triple", k, "a"))
+                    b = WireShare.base(self.field, ("triple", k, "b"))
+                    d_share = (x - a).my_value(self.pack)
+                    e_share = (y - b).my_value(self.pack)
+                    for pid in range(self.n):
+                        ctx.send(pid, ("dsh", ("d", w), int(d_share)))
+                        ctx.send(pid, ("dsh", ("e", w), int(e_share)))
+            return
+
+        # Output phase once all wires are computed.
+        if all(w is not None for w in self.wires) and not self._outputs_sent:
+            self._outputs_sent = True
+            for out in self.circuit.outputs:
+                share = self.wires[out.wire].my_value(self.pack)
+                ctx.send(out.player, ("osh", out.label, int(share)))
+            return
+
+        if self._outputs_sent and self.result is None:
+            mine = {
+                out.label: None
+                for out in self.circuit.outputs
+                if out.player == self.pid
+            }
+            for label in mine:
+                shares = dict(self._out_shares.get(label, {}))
+                value = robust_reconstruct(
+                    self.field, shares, self.t, self.n, self.t
+                )
+                if value is None:
+                    return  # wait one more round
+                mine[label] = int(value)
+            self.result = mine
+            ctx.halt()

@@ -1,0 +1,69 @@
+"""Shamir secret sharing over GF(p).
+
+Party ``pid`` evaluates at the fixed point ``x_of(pid) = pid + 1`` (zero is
+reserved for the secret). Reconstruction comes in two strengths:
+
+* :func:`reconstruct` — exact interpolation, for clean share sets;
+* :func:`robust_reconstruct` — the online-error-correction wrapper used by
+  asynchronous openings, which never returns a wrong polynomial as long as
+  at most ``max_faulty`` of the provided shares are corrupted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import ProtocolError
+from repro.field import GF, GFElement, Polynomial, lagrange_interpolate, robust_interpolate
+
+
+def x_of(pid: int) -> int:
+    """The evaluation point assigned to party ``pid``."""
+    return pid + 1
+
+
+def share_secret(
+    field: GF, secret, degree: int, parties: Sequence[int], rng
+) -> dict[int, GFElement]:
+    """Deal a fresh degree-``degree`` sharing of ``secret``.
+
+    Returns {pid: share}. Requires len(parties) > degree so the sharing is
+    actually reconstructible.
+    """
+    if len(parties) <= degree:
+        raise ProtocolError(
+            f"cannot share at degree {degree} among {len(parties)} parties"
+        )
+    poly = Polynomial.random(field, degree, rng, constant=field(secret))
+    return {pid: poly(x_of(pid)) for pid in parties}
+
+
+def reconstruct(field: GF, shares: dict[int, GFElement], degree: int) -> GFElement:
+    """Exact reconstruction from (at least) degree+1 clean shares."""
+    items = sorted(shares.items())[: degree + 1]
+    if len(items) < degree + 1:
+        raise ProtocolError(
+            f"need {degree + 1} shares to reconstruct degree {degree}, "
+            f"got {len(items)}"
+        )
+    points = [(x_of(pid), y) for pid, y in items]
+    return lagrange_interpolate(field, points)(0)
+
+
+def robust_reconstruct(
+    field: GF,
+    shares: dict[int, GFElement],
+    degree: int,
+    total_parties: int,
+    max_faulty: int,
+) -> Optional[GFElement]:
+    """Error-corrected reconstruction; ``None`` until enough shares arrived.
+
+    Guaranteed never to return a wrong value when at most ``max_faulty``
+    shares are corrupted (see :func:`repro.field.robust_interpolate`).
+    """
+    points = [(x_of(pid), y) for pid, y in sorted(shares.items())]
+    poly = robust_interpolate(field, points, degree, total_parties, max_faulty)
+    if poly is None:
+        return None
+    return poly(0)

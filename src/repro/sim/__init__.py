@@ -1,0 +1,53 @@
+"""Deterministic asynchronous-network simulation.
+
+The model follows Section 2 of the paper: players alternate moves with an
+*environment* (the scheduler). An environment move picks the next player and
+the set of in-transit messages to that player that are delivered just before
+it moves. The environment is a first-class strategic actor: every run is
+parameterised by a :class:`~repro.sim.scheduler.Scheduler`.
+
+Non-relaxed schedulers must deliver every message eventually; *relaxed*
+schedulers (used only in mediator games, Section 5) may drop messages but
+must treat a batch of messages sent by the mediator at one step
+all-or-none.
+"""
+
+from repro.sim.network import Message, Network, START_SIGNAL
+from repro.sim.process import Context, Process, FuncProcess
+from repro.sim.runtime import Runtime, RunResult
+from repro.sim.scheduler import (
+    Scheduler,
+    FifoScheduler,
+    RandomScheduler,
+    EagerScheduler,
+    LaggardScheduler,
+    RushingScheduler,
+    BatchRandomScheduler,
+    RelaxedScheduler,
+    DropPlanRelaxedScheduler,
+    scheduler_zoo,
+)
+from repro.sim.trace import Trace, TraceEvent, message_pattern
+
+__all__ = [
+    "Message",
+    "Network",
+    "START_SIGNAL",
+    "Context",
+    "Process",
+    "FuncProcess",
+    "Runtime",
+    "RunResult",
+    "Scheduler",
+    "FifoScheduler",
+    "RandomScheduler",
+    "EagerScheduler",
+    "LaggardScheduler",
+    "BatchRandomScheduler",
+    "RelaxedScheduler",
+    "DropPlanRelaxedScheduler",
+    "scheduler_zoo",
+    "Trace",
+    "TraceEvent",
+    "message_pattern",
+]

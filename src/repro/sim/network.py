@@ -1,0 +1,132 @@
+"""Messages and the in-transit message pool.
+
+Channels are secure and private point-to-point links: the scheduler observes
+*that* a message exists (sender, recipient, send order) but never its
+payload — mirroring the paper's assumption that the environment cannot read
+messages (Section 6.1). Scheduler code therefore only ever sees
+:class:`MessageView` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+START_SIGNAL = "__START__"
+"""Payload of the synthetic game-start signal every process receives first."""
+
+
+@dataclass
+class Message:
+    """A point-to-point message inside the simulated network."""
+
+    uid: int
+    sender: int
+    recipient: int
+    payload: Any
+    send_step: int
+    batch: int
+    """Batch id: messages emitted by one activation of one process share it.
+
+    Relaxed schedulers must drop or deliver mediator batches atomically
+    (Section 5), which is the hook this field exists for.
+    """
+
+    delivered_step: Optional[int] = None
+    dropped: bool = False
+
+    def view(self) -> "MessageView":
+        return MessageView(
+            uid=self.uid,
+            sender=self.sender,
+            recipient=self.recipient,
+            send_step=self.send_step,
+            batch=self.batch,
+        )
+
+
+@dataclass(frozen=True)
+class MessageView:
+    """What a scheduler is allowed to see about an in-transit message."""
+
+    uid: int
+    sender: int
+    recipient: int
+    send_step: int
+    batch: int
+
+
+class Network:
+    """The pool of in-transit messages."""
+
+    def __init__(self) -> None:
+        self._next_uid = 0
+        self._next_batch = 0
+        self._in_transit: dict[int, Message] = {}
+        self.total_sent = 0
+        self.total_delivered = 0
+        self.total_dropped = 0
+
+    # -- sending -----------------------------------------------------------
+
+    def new_batch(self) -> int:
+        self._next_batch += 1
+        return self._next_batch
+
+    def send(
+        self, sender: int, recipient: int, payload: Any, step: int, batch: int
+    ) -> Message:
+        msg = Message(
+            uid=self._next_uid,
+            sender=sender,
+            recipient=recipient,
+            payload=payload,
+            send_step=step,
+            batch=batch,
+        )
+        self._next_uid += 1
+        self._in_transit[msg.uid] = msg
+        self.total_sent += 1
+        return msg
+
+    # -- delivery ----------------------------------------------------------
+
+    def deliver(self, uid: int, step: int) -> Message:
+        msg = self._in_transit.pop(uid)
+        msg.delivered_step = step
+        self.total_delivered += 1
+        return msg
+
+    def drop(self, uid: int) -> Message:
+        msg = self._in_transit.pop(uid)
+        msg.dropped = True
+        self.total_dropped += 1
+        return msg
+
+    def discard_to(self, recipients: set[int]) -> int:
+        """Silently discard messages addressed to halted processes."""
+        uids = [m.uid for m in self._in_transit.values() if m.recipient in recipients]
+        for uid in uids:
+            self.drop(uid)
+        return len(uids)
+
+    # -- inspection --------------------------------------------------------
+
+    def in_transit(self) -> list[Message]:
+        return list(self._in_transit.values())
+
+    def in_transit_views(self) -> list[MessageView]:
+        return [m.view() for m in self._in_transit.values()]
+
+    def in_transit_to(self, recipient: int) -> list[Message]:
+        return [m for m in self._in_transit.values() if m.recipient == recipient]
+
+    def has_message_for(self, recipients: Iterable[int]) -> bool:
+        wanted = set(recipients)
+        return any(m.recipient in wanted for m in self._in_transit.values())
+
+    def batch_members(self, batch: int) -> list[Message]:
+        return [m for m in self._in_transit.values() if m.batch == batch]
+
+    def __len__(self) -> int:
+        return len(self._in_transit)

@@ -1,0 +1,266 @@
+"""The simulation runtime: runs processes under an environment strategy.
+
+The loop is exactly the paper's alternation: the environment (scheduler)
+chooses a message to deliver; the recipient is activated with it; the
+recipient's sends join the in-transit pool; repeat. Start signals are
+modelled as synthetic environment messages so that "a player is told the
+game started when first scheduled" falls out of the same mechanism.
+
+Termination taxonomy of a run:
+
+* *quiesced* — no messages remain for live processes (every protocol either
+  halted or is waiting forever on nothing; with non-relaxed schedulers this
+  only happens when no one will ever send again);
+* *deadlocked* — a relaxed scheduler stopped delivering (Lemma 6.10
+  situation) or quiescence was reached with live processes remaining;
+  the AH-approach *wills* of live processes are collected in the result.
+
+The all-or-none rule for mediator batches under relaxed schedulers is
+enforced here: if any message of a batch sent by the mediator was delivered,
+the rest of that batch is force-delivered before the run is allowed to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import SchedulerError, SimulationError, StepLimitExceeded
+from repro.sim.network import Message, Network, START_SIGNAL
+from repro.sim.process import Context, Process
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import Trace, TraceEvent
+from repro.utils.rng import RngTree
+
+ENVIRONMENT_PID = -1
+"""Synthetic sender id for start signals."""
+
+
+@dataclass
+class RunResult:
+    """Everything observable about one completed run."""
+
+    outputs: dict[int, Any]
+    halted: set[int]
+    live: set[int]
+    deadlocked: bool
+    wills: dict[int, Any]
+    trace: Trace
+    steps: int
+    messages_sent: int
+    messages_delivered: int
+    messages_dropped: int
+
+    def output_profile(self, pids: list[int], missing: Any = None) -> tuple:
+        """Outputs as a tuple ordered by ``pids`` (``missing`` if absent)."""
+        return tuple(self.outputs.get(pid, missing) for pid in pids)
+
+
+class Runtime:
+    """Run a set of processes to completion under a scheduler."""
+
+    def __init__(
+        self,
+        processes: dict[int, Process],
+        scheduler: Scheduler,
+        seed: int = 0,
+        step_limit: int = 2_000_000,
+        mediator_pid: Optional[int] = None,
+        record_payloads: bool = False,
+        raise_on_step_limit: bool = True,
+    ) -> None:
+        if not processes:
+            raise SimulationError("need at least one process")
+        self.processes = dict(processes)
+        self.scheduler = scheduler
+        self.seed = seed
+        self.step_limit = step_limit
+        self.mediator_pid = mediator_pid
+        self.raise_on_step_limit = raise_on_step_limit
+
+        self.network = Network()
+        self.trace = Trace(record_payloads=record_payloads)
+        self.outputs: dict[int, Any] = {}
+        self.halted: set[int] = set()
+        self.started: set[int] = set()
+        self._rng_tree = RngTree(seed)
+        self._rngs: dict[int, Any] = {}
+        self._step = 0
+        self._current_batch = 0
+        self._delivered_batches: set[int] = set()
+        self._mediator_batches: set[int] = set()
+
+    # -- services used by Context -------------------------------------------
+
+    def rng_for(self, pid: int):
+        if pid not in self._rngs:
+            self._rngs[pid] = self._rng_tree.child("proc", pid).rng
+        return self._rngs[pid]
+
+    def _send_from(self, sender: int, recipient: int, payload: Any, batch: int) -> None:
+        if recipient not in self.processes:
+            raise SimulationError(f"send to unknown process {recipient}")
+        if sender == self.mediator_pid:
+            self._mediator_batches.add(batch)
+        msg = self.network.send(sender, recipient, payload, self._step, batch)
+        self.trace.add(
+            TraceEvent(
+                step=self._step,
+                kind="send",
+                pid=sender,
+                sender=sender,
+                recipient=recipient,
+                uid=msg.uid,
+                payload=payload if self.trace.record_payloads else None,
+            )
+        )
+        if recipient in self.halted:
+            self.network.drop(msg.uid)
+
+    def _record_output(self, pid: int, action: Any) -> None:
+        if pid in self.outputs:
+            raise SimulationError(f"process {pid} attempted to output twice")
+        self.outputs[pid] = action
+        self.trace.add(
+            TraceEvent(step=self._step, kind="output", pid=pid, payload=action)
+        )
+
+    def _record_halt(self, pid: int) -> None:
+        if pid in self.halted:
+            return
+        self.halted.add(pid)
+        self.trace.add(TraceEvent(step=self._step, kind="halt", pid=pid))
+        self.network.discard_to({pid})
+
+    # -- the main loop -------------------------------------------------------
+
+    def run(self) -> RunResult:
+        self.scheduler.reset(self.seed)
+        self._inject_start_signals()
+        stopped_by_scheduler = False
+
+        while True:
+            if self._step >= self.step_limit:
+                if self.raise_on_step_limit:
+                    raise StepLimitExceeded(
+                        f"no quiescence after {self.step_limit} steps "
+                        f"(scheduler {self.scheduler.name})"
+                    )
+                break
+            if self.halted >= set(self.processes):
+                break
+            if len(self.network) == 0:
+                break
+
+            uid = self.scheduler.choose(self.network.in_transit_views(), self._step)
+            if uid is None:
+                if not self.scheduler.is_relaxed():
+                    if len(self.network) > 0:
+                        raise SchedulerError(
+                            f"non-relaxed scheduler {self.scheduler.name} refused "
+                            f"to deliver with {len(self.network)} messages in transit"
+                        )
+                    break
+                forced = self._forced_batch_completion()
+                if forced is None:
+                    stopped_by_scheduler = True
+                    break
+                uid = forced
+            self._deliver(uid)
+
+        if stopped_by_scheduler:
+            for msg in self.network.in_transit():
+                self.trace.add(
+                    TraceEvent(
+                        step=self._step,
+                        kind="drop",
+                        pid=msg.recipient,
+                        sender=msg.sender,
+                        recipient=msg.recipient,
+                        uid=msg.uid,
+                    )
+                )
+                self.network.drop(msg.uid)
+
+        live = set(self.processes) - self.halted
+        deadlocked = bool(live) and (
+            stopped_by_scheduler or len(self.network) == 0
+        )
+        wills = {}
+        for pid in sorted(live):
+            if pid not in self.outputs and pid != self.mediator_pid:
+                wills[pid] = self.processes[pid].on_deadlock(pid)
+        return RunResult(
+            outputs=dict(self.outputs),
+            halted=set(self.halted),
+            live=live,
+            deadlocked=deadlocked,
+            wills=wills,
+            trace=self.trace,
+            steps=self._step,
+            messages_sent=self.network.total_sent,
+            messages_delivered=self.network.total_delivered,
+            messages_dropped=self.network.total_dropped,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _inject_start_signals(self) -> None:
+        for pid in sorted(self.processes):
+            batch = self.network.new_batch()
+            self.network.send(ENVIRONMENT_PID, pid, START_SIGNAL, 0, batch)
+
+    def _forced_batch_completion(self) -> Optional[int]:
+        """Uid of a message that must still be delivered (batch atomicity).
+
+        Mediator batches must be all-or-none under relaxed schedulers; start
+        signals must always be delivered (every player is eventually
+        scheduled, even by relaxed environments).
+        """
+        candidates = []
+        for msg in self.network.in_transit():
+            if msg.payload == START_SIGNAL and msg.sender == ENVIRONMENT_PID:
+                if msg.recipient not in self.halted:
+                    candidates.append(msg.uid)
+            elif (
+                msg.batch in self._mediator_batches
+                and msg.batch in self._delivered_batches
+            ):
+                candidates.append(msg.uid)
+        if not candidates:
+            return None
+        return min(candidates)
+
+    def _deliver(self, uid: int) -> None:
+        try:
+            msg = self.network.deliver(uid, self._step)
+        except KeyError:
+            raise SchedulerError(f"scheduler chose unknown message uid {uid}")
+        self._step += 1
+        self._delivered_batches.add(msg.batch)
+        self.trace.add(
+            TraceEvent(
+                step=self._step,
+                kind="deliver",
+                pid=msg.recipient,
+                sender=msg.sender,
+                recipient=msg.recipient,
+                uid=msg.uid,
+                payload=msg.payload if self.trace.record_payloads else None,
+            )
+        )
+        pid = msg.recipient
+        if pid in self.halted:
+            return
+        process = self.processes[pid]
+        self._current_batch = self.network.new_batch()
+        ctx = Context(self, pid, self._step, self._current_batch)
+        if pid not in self.started:
+            self.started.add(pid)
+            self.trace.add(TraceEvent(step=self._step, kind="start", pid=pid))
+            process.on_start(ctx)
+        if msg.payload == START_SIGNAL and msg.sender == ENVIRONMENT_PID:
+            return
+        if pid in self.halted:
+            return
+        process.on_message(ctx, msg.sender, msg.payload)

@@ -1,0 +1,150 @@
+"""Synchronous round-based simulation (the paper's baseline setting).
+
+The synchronous results R1/R2 that the paper improves on live in a
+lock-step model: in every round all players act simultaneously, and every
+message sent in round r is delivered at the start of round r+1. This module
+provides that model so the repository can measure the *cost of asynchrony*
+(the extra k+t in the bounds) as an ablation.
+
+A broadcast channel — which the synchronous literature assumes as a
+primitive — is modelled by :meth:`SyncContext.broadcast`: the runtime
+delivers the same payload to every player (equivocation is impossible by
+construction, matching the model assumption; the asynchronous layers have
+to *earn* this with Bracha RBC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import SimulationError, StepLimitExceeded
+from repro.utils.rng import RngTree
+
+
+class SyncContext:
+    """Capability object for one process in one synchronous round."""
+
+    def __init__(self, runtime: "SyncRuntime", pid: int) -> None:
+        self._runtime = runtime
+        self.pid = pid
+        self.round = runtime.round
+        self.rng = runtime.rng_for(pid)
+
+    def send(self, recipient: int, payload: Any) -> None:
+        self._runtime._post(self.pid, recipient, payload)
+
+    def broadcast(self, payload: Any) -> None:
+        """Send the same payload to every player (broadcast channel)."""
+        for pid in self._runtime.pids:
+            self._runtime._post(self.pid, pid, payload, broadcast=True)
+
+    def output(self, action: Any) -> None:
+        self._runtime._record_output(self.pid, action)
+
+    def halt(self) -> None:
+        self._runtime._record_halt(self.pid)
+
+    def has_output(self) -> bool:
+        return self.pid in self._runtime.outputs
+
+
+class SyncProcess:
+    """A player in the synchronous model.
+
+    ``on_round(ctx, inbox)`` is called once per round with the messages
+    delivered this round as (sender, payload) pairs, in sender order.
+    """
+
+    def on_round(self, ctx: SyncContext, inbox: list[tuple[int, Any]]) -> None:
+        raise NotImplementedError
+
+    def on_deadlock(self, pid: int) -> Optional[Any]:
+        return None
+
+
+@dataclass
+class SyncRunResult:
+    outputs: dict[int, Any]
+    halted: set[int]
+    rounds: int
+    messages_sent: int
+    wills: dict[int, Any] = field(default_factory=dict)
+
+
+class SyncRuntime:
+    """Lock-step executor: rounds until quiescence or the round limit."""
+
+    def __init__(
+        self,
+        processes: dict[int, SyncProcess],
+        seed: int = 0,
+        max_rounds: int = 10_000,
+    ) -> None:
+        if not processes:
+            raise SimulationError("need at least one process")
+        self.processes = dict(processes)
+        self.pids = sorted(processes)
+        self.seed = seed
+        self.max_rounds = max_rounds
+        self.round = 0
+        self.outputs: dict[int, Any] = {}
+        self.halted: set[int] = set()
+        self.messages_sent = 0
+        self._inboxes: dict[int, list[tuple[int, Any]]] = {p: [] for p in self.pids}
+        self._next: dict[int, list[tuple[int, Any]]] = {p: [] for p in self.pids}
+        self._rng_tree = RngTree(seed)
+        self._rngs: dict[int, Any] = {}
+
+    def rng_for(self, pid: int):
+        if pid not in self._rngs:
+            self._rngs[pid] = self._rng_tree.child("sync", pid).rng
+        return self._rngs[pid]
+
+    def _post(self, sender: int, recipient: int, payload: Any,
+              broadcast: bool = False) -> None:
+        if recipient not in self._next:
+            raise SimulationError(f"send to unknown process {recipient}")
+        self._next[recipient].append((sender, payload))
+        self.messages_sent += 1
+
+    def _record_output(self, pid: int, action: Any) -> None:
+        if pid in self.outputs:
+            raise SimulationError(f"process {pid} attempted to output twice")
+        self.outputs[pid] = action
+
+    def _record_halt(self, pid: int) -> None:
+        self.halted.add(pid)
+
+    def run(self) -> SyncRunResult:
+        while True:
+            if self.round >= self.max_rounds:
+                raise StepLimitExceeded(
+                    f"no quiescence after {self.max_rounds} synchronous rounds"
+                )
+            live = [p for p in self.pids if p not in self.halted]
+            has_mail = any(self._inboxes[p] for p in live)
+            if not live or (self.round > 0 and not has_mail):
+                break
+            for pid in live:
+                ctx = SyncContext(self, pid)
+                inbox = sorted(self._inboxes[pid], key=lambda m: m[0])
+                self.processes[pid].on_round(ctx, inbox)
+            self._inboxes = {
+                p: (self._next[p] if p not in self.halted else [])
+                for p in self.pids
+            }
+            self._next = {p: [] for p in self.pids}
+            self.round += 1
+
+        wills = {}
+        for pid in self.pids:
+            if pid not in self.outputs and pid not in self.halted:
+                wills[pid] = self.processes[pid].on_deadlock(pid)
+        return SyncRunResult(
+            outputs=dict(self.outputs),
+            halted=set(self.halted),
+            rounds=self.round,
+            messages_sent=self.messages_sent,
+            wills=wills,
+        )

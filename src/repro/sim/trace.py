@@ -1,0 +1,89 @@
+"""Run traces and message patterns.
+
+A :class:`Trace` records every observable event of a run. Message *patterns*
+in the sense of Section 6.4 — the sequence of ``(s, i, j, k)`` send events
+and ``(d, i, j, k)`` delivery events, with contents erased — are derived
+from traces by :func:`message_pattern`; the minimally-informative mediator
+transform keys its scheduler-equivalence classes off exactly this object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observable event in a run."""
+
+    step: int
+    kind: str  # "start" | "send" | "deliver" | "drop" | "output" | "halt" | "note"
+    pid: int
+    sender: Optional[int] = None
+    recipient: Optional[int] = None
+    uid: Optional[int] = None
+    payload: Any = None
+    data: Any = None
+
+
+@dataclass
+class Trace:
+    """Append-only event log for one run."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    record_payloads: bool = True
+
+    def add(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def note(self, pid: int, label: str, data: Any = None) -> None:
+        self.events.append(
+            TraceEvent(step=-1, kind="note", pid=pid, payload=label, data=data)
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def sends(self) -> list[TraceEvent]:
+        return self.of_kind("send")
+
+    def deliveries(self) -> list[TraceEvent]:
+        return self.of_kind("deliver")
+
+    def message_count(self) -> int:
+        return len(self.sends())
+
+    def outputs(self) -> dict[int, Any]:
+        return {e.pid: e.payload for e in self.of_kind("output")}
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def message_pattern(trace: Trace) -> tuple[tuple, ...]:
+    """Extract the Section 6.4 message pattern from a trace.
+
+    Returns a tuple of ``("s", i, j, k)`` / ``("d", i, j, k)`` tuples, where
+    ``k`` numbers the messages from ``i`` to ``j`` consecutively (starting
+    at 1) and contents are erased. Two runs with equal patterns are
+    indistinguishable to the environment.
+    """
+    counters: dict[tuple[int, int], int] = {}
+    uid_to_index: dict[int, tuple[int, int, int]] = {}
+    pattern: list[tuple] = []
+    for event in trace.events:
+        if event.kind == "send":
+            key = (event.sender, event.recipient)
+            counters[key] = counters.get(key, 0) + 1
+            uid_to_index[event.uid] = (event.sender, event.recipient, counters[key])
+            pattern.append(("s", event.sender, event.recipient, counters[key]))
+        elif event.kind == "deliver":
+            indexed = uid_to_index.get(event.uid)
+            if indexed is None:
+                continue  # environment-injected (start signals): not a message
+            i, j, k = indexed
+            pattern.append(("d", i, j, k))
+    return tuple(pattern)

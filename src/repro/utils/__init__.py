@@ -1,0 +1,5 @@
+"""Small shared helpers: deterministic RNG streams and misc utilities."""
+
+from repro.utils.rng import RngTree, derive_seed
+
+__all__ = ["RngTree", "derive_seed"]

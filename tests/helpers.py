@@ -1,0 +1,81 @@
+"""Shared test utilities for running protocol hosts under the simulator."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.broadcast import SessionHost
+from repro.sim import FifoScheduler, Process, Runtime
+
+
+class CrashProcess(Process):
+    """A party that never sends anything (crash fault from time zero)."""
+
+    def on_message(self, ctx, sender, payload):
+        pass
+
+
+class ScriptedByzantine(Process):
+    """A party driven by an explicit behaviour function.
+
+    ``behaviour(ctx, sender, payload)`` is called for the start signal
+    (``sender is None``) and for every delivered message.
+    """
+
+    def __init__(self, behaviour: Callable) -> None:
+        self.behaviour = behaviour
+
+    def on_start(self, ctx):
+        self.behaviour(ctx, None, None)
+
+    def on_message(self, ctx, sender, payload):
+        self.behaviour(ctx, sender, payload)
+
+
+def run_hosts(
+    n: int,
+    t: int,
+    on_ready: Optional[Callable[[SessionHost], None]] = None,
+    config: Optional[dict] = None,
+    byzantine: Optional[dict[int, Process]] = None,
+    scheduler=None,
+    seed: int = 0,
+    step_limit: int = 400_000,
+):
+    """Run ``n`` session hosts to quiescence; return (hosts, RunResult).
+
+    ``byzantine`` maps pids to replacement processes (those pids get no
+    SessionHost). ``on_ready`` runs on every honest host at its start
+    signal.
+    """
+    peers = list(range(n))
+    byzantine = byzantine or {}
+    full_config = {"t": t, "coin_seed": 1234 + seed}
+    if config:
+        full_config.update(config)
+    hosts: dict[int, SessionHost] = {}
+    processes: dict[int, Process] = {}
+    for pid in peers:
+        if pid in byzantine:
+            processes[pid] = byzantine[pid]
+            continue
+        host = SessionHost(pid, peers, full_config, on_ready=on_ready)
+        hosts[pid] = host
+        processes[pid] = host
+    runtime = Runtime(
+        processes,
+        scheduler or FifoScheduler(),
+        seed=seed,
+        step_limit=step_limit,
+    )
+    result = runtime.run()
+    return hosts, result
+
+
+def results_for(hosts: dict, sid: tuple) -> dict[int, Any]:
+    """Collect each honest host's result for session ``sid`` (if finished)."""
+    return {
+        pid: host.results[sid]
+        for pid, host in hosts.items()
+        if sid in host.results
+    }

@@ -1,0 +1,112 @@
+"""Tests for AVSS public reconstruction and the Prop 6.6 ε-tightening."""
+
+import pytest
+
+from repro.errors import GameError
+from repro.field import GF, DEFAULT_PRIME
+from repro.games import BayesianGame, ConstantStrategy, StrategyProfile, TypeSpace
+from repro.games.solution import tighten_epsilon
+from repro.mpc.avss import avss_open_sid, avss_sid
+from repro.sim import FifoScheduler, RandomScheduler
+
+from tests.helpers import ScriptedByzantine, results_for, run_hosts
+
+F = GF(DEFAULT_PRIME)
+
+
+class TestAvssReconstruction:
+    def run_share_and_open(self, n, t, secret, byzantine=None, scheduler=None):
+        share_sid = avss_sid(0, "s")
+        open_sid = avss_open_sid(0, "s")
+
+        def kick(host):
+            def on_share(sid, share):
+                host.open_session(open_sid).contribute(share)
+
+            host.await_session(share_sid, on_share, create=True)
+            if host.me == 0:
+                host.open_session(share_sid).input(secret)
+
+        hosts, _ = run_hosts(
+            n, t, on_ready=kick, config={"field": F},
+            byzantine=byzantine, scheduler=scheduler,
+        )
+        return results_for(hosts, open_sid)
+
+    def test_share_then_reconstruct(self):
+        values = self.run_share_and_open(5, 1, secret=77)
+        assert values == {pid: 77 for pid in range(5)}
+
+    def test_reconstruction_under_random_scheduler(self):
+        values = self.run_share_and_open(
+            5, 1, secret=31, scheduler=RandomScheduler(3)
+        )
+        assert set(values.values()) == {31}
+
+    def test_wrong_share_corrected(self):
+        """A party that injects a junk share into the opening is corrected."""
+        share_sid = avss_sid(0, "s")
+        open_sid = avss_open_sid(0, "s")
+
+        def junk(ctx, sender, payload):
+            if sender is None:
+                for pid in range(5):
+                    if pid != 4:
+                        ctx.send(pid, (open_sid, ("share", 123456789)))
+
+        def kick(host):
+            def on_share(sid, share):
+                host.open_session(open_sid).contribute(share)
+
+            host.await_session(share_sid, on_share, create=True)
+            if host.me == 0:
+                host.open_session(share_sid).input(9)
+
+        hosts, _ = run_hosts(
+            5, 1, on_ready=kick, config={"field": F},
+            byzantine={4: ScriptedByzantine(junk)},
+        )
+        values = results_for(hosts, open_sid)
+        assert set(values.values()) == {9}
+        assert set(values) == {0, 1, 2, 3}
+
+
+class TestTightenEpsilon:
+    def pd(self):
+        payoffs = {
+            ("C", "C"): (3.0, 3.0),
+            ("C", "D"): (0.0, 4.0),
+            ("D", "C"): (4.0, 0.0),
+            ("D", "D"): (1.0, 1.0),
+        }
+        return BayesianGame(
+            2, [["C", "D"]] * 2, TypeSpace.single([0, 0]),
+            lambda t, a: payoffs[tuple(a)],
+        )
+
+    def test_exact_equilibrium_tightens_toward_half_epsilon(self):
+        game = self.pd()
+        profile = StrategyProfile([ConstantStrategy("D")] * 2)
+        # Worst gain is 0 (strict equilibrium): eps0 = eps/2.
+        assert tighten_epsilon(game, profile, 1, 0.4) == pytest.approx(0.2)
+
+    def test_epsilon_equilibrium_midpoint(self):
+        game = self.pd()
+        profile = StrategyProfile([ConstantStrategy("C")] * 2)
+        # Best unilateral gain from (C,C) is exactly 1.0.
+        eps0 = tighten_epsilon(game, profile, 1, 1.5)
+        assert eps0 == pytest.approx((1.5 + 1.0) / 2)
+        assert eps0 < 1.5
+
+    def test_not_epsilon_resilient_rejected(self):
+        game = self.pd()
+        profile = StrategyProfile([ConstantStrategy("C")] * 2)
+        with pytest.raises(GameError):
+            tighten_epsilon(game, profile, 1, 0.5)  # gain 1.0 >= 0.5
+
+    def test_monotone_in_epsilon(self):
+        game = self.pd()
+        profile = StrategyProfile([ConstantStrategy("D")] * 2)
+        assert tighten_epsilon(game, profile, 1, 0.2) < tighten_epsilon(
+            game, profile, 1, 0.4
+        )

@@ -1,0 +1,78 @@
+"""Tests for the canonical-form checker and trace tooling negatives."""
+
+import pytest
+
+from repro.games.library import consensus_game
+from repro.mediator import MediatorGame, check_canonical_form
+from repro.mediator.protocol import HonestMediatorPlayer, mediator_pid
+from repro.sim import FifoScheduler, message_pattern
+from repro.sim.trace import Trace, TraceEvent
+
+
+class TestCanonicalNegatives:
+    def test_missing_payloads_flagged(self):
+        spec = consensus_game(4)
+        game = MediatorGame(spec, k=1, t=0)
+        run = game.run((0,) * 4, FifoScheduler(), seed=0)  # no payloads
+        report = check_canonical_form(run.result, 4, game.mediator, 1)
+        assert not report.ok
+        assert any("payloads" in p for p in report.problems)
+
+    def test_player_to_player_chatter_flagged(self):
+        spec = consensus_game(4)
+        med = mediator_pid(4)
+
+        class Chatty(HonestMediatorPlayer):
+            def on_start(self, ctx):
+                ctx.send(1, "psst")  # violates canonical form
+                super().on_start(ctx)
+
+        game = MediatorGame(spec, k=1, t=0)
+        run = game.run(
+            (0,) * 4, FifoScheduler(), seed=0, record_payloads=True,
+            deviations={0: lambda pid, ty: Chatty(spec, pid, ty)},
+        )
+        # Checking with player 0 treated as honest flags the chatter ...
+        bad = check_canonical_form(run.result, 4, med, 1)
+        assert not bad.ok
+        # ... and exempting it (deviators are exempt by definition) passes.
+        ok = check_canonical_form(run.result, 4, med, 1, honest={1, 2, 3})
+        assert ok.ok, ok.problems
+
+    def test_round_bound_violation_flagged(self):
+        spec = consensus_game(4)
+        game = MediatorGame(spec, k=1, t=0, rounds=3)
+        run = game.run((0,) * 4, FifoScheduler(), seed=0, record_payloads=True)
+        # The 3-round mediator exceeds a claimed 1-round bound.
+        report = check_canonical_form(run.result, 4, game.mediator, 1)
+        assert not report.ok
+        # And satisfies its true bound.
+        assert check_canonical_form(run.result, 4, game.mediator, 3).ok
+
+
+class TestTraceTools:
+    def test_note_events(self):
+        trace = Trace()
+        trace.note(3, "custom", {"x": 1})
+        assert trace.of_kind("note")[0].pid == 3
+
+    def test_outputs_helper(self):
+        trace = Trace()
+        trace.add(TraceEvent(step=1, kind="output", pid=0, payload="a"))
+        assert trace.outputs() == {0: "a"}
+
+    def test_pattern_numbers_messages_per_pair(self):
+        trace = Trace()
+        for uid in range(3):
+            trace.add(TraceEvent(step=uid, kind="send", pid=0, sender=0,
+                                 recipient=1, uid=uid))
+        pattern = message_pattern(trace)
+        assert pattern == (("s", 0, 1, 1), ("s", 0, 1, 2), ("s", 0, 1, 3))
+
+    def test_pattern_interleaves_delivery(self):
+        trace = Trace()
+        trace.add(TraceEvent(step=0, kind="send", pid=0, sender=0,
+                             recipient=1, uid=10))
+        trace.add(TraceEvent(step=1, kind="deliver", pid=1, sender=0,
+                             recipient=1, uid=10))
+        assert message_pattern(trace) == (("s", 0, 1, 1), ("d", 0, 1, 1))

@@ -1,0 +1,307 @@
+"""Tests for the cheap-talk compilers, properties, and circuits."""
+
+import random
+
+import pytest
+
+from repro.cheaptalk import (
+    CheapTalkGame,
+    check_cotermination,
+    compile_theorem41,
+    compile_theorem42,
+    compile_theorem44,
+    compile_theorem45,
+    mediator_circuit_for,
+)
+from repro.cheaptalk.circuits import output_label
+from repro.errors import CompilationError, MediatorError
+from repro.field import GF, DEFAULT_PRIME
+from repro.games.library import (
+    BOT,
+    byzantine_agreement_game,
+    chicken_game,
+    consensus_game,
+    free_rider_game,
+    section64_game,
+    shamir_secret_game,
+)
+from repro.sim import FifoScheduler, RandomScheduler, scheduler_zoo
+
+from tests.helpers import CrashProcess
+
+F = GF(DEFAULT_PRIME)
+
+
+class TestMediatorCircuits:
+    @pytest.mark.parametrize(
+        "spec_maker",
+        [
+            lambda: consensus_game(5),
+            lambda: section64_game(4, 1),
+            lambda: byzantine_agreement_game(5),
+            chicken_game,
+            free_rider_game,
+            shamir_secret_game,
+        ],
+        ids=["consensus", "section64", "byz", "chicken", "free-rider", "shamir"],
+    )
+    def test_circuit_agrees_with_mediator_dist(self, spec_maker):
+        """Clear evaluation of the circuit matches the ideal distribution."""
+        spec = spec_maker()
+        circuit = mediator_circuit_for(spec, F)
+        n = spec.game.n
+        input_players = circuit.input_players()
+        for t_idx, types in enumerate(spec.game.type_space.profiles()[:3]):
+            dist = spec.mediator_dist(types)
+            seen = {}
+            trials = 120 if len(dist) > 1 else 8
+            for i in range(trials):
+                inputs = {
+                    p: spec.encode_type(types[p]) for p in input_players
+                }
+                out = circuit.evaluate(inputs, random.Random(1000 * t_idx + i))
+                actions = tuple(
+                    spec.decode_action(int(out[output_label(p)]))
+                    for p in range(n)
+                )
+                seen[actions] = seen.get(actions, 0) + 1
+            assert set(seen) == set(dist), (types, seen, dist)
+            for actions, count in seen.items():
+                assert abs(count / trials - dist[actions]) < 0.2
+
+    def test_unknown_spec_rejected(self):
+        spec = consensus_game(4)
+        spec.name = "mystery-game"
+        with pytest.raises(MediatorError):
+            mediator_circuit_for(spec, F)
+
+
+class TestCompilerBounds:
+    def test_theorem41_bound(self):
+        with pytest.raises(CompilationError):
+            compile_theorem41(consensus_game(8), 1, 1)  # needs n > 8
+        assert compile_theorem41(consensus_game(9), 1, 1)
+
+    def test_theorem42_bound(self):
+        with pytest.raises(CompilationError):
+            compile_theorem42(consensus_game(6), 1, 1, epsilon=0.1)
+        assert compile_theorem42(consensus_game(7), 1, 1, epsilon=0.1)
+
+    def test_theorem44_bound_and_punishment(self):
+        spec = section64_game(4, k=1)
+        with pytest.raises(CompilationError):
+            compile_theorem44(section64_game(7, k=2), 2, 1)  # needs n > 10
+        with pytest.raises(CompilationError):
+            # punishment strength k=1 < k+t=2
+            compile_theorem44(section64_game(8, k=1), 1, 1)
+        assert compile_theorem44(spec, 1, 0)
+
+    def test_theorem45_bound_and_punishment(self):
+        with pytest.raises(CompilationError):
+            compile_theorem45(section64_game(4, k=1), 1, 1, epsilon=0.1)
+        spec = section64_game(7, k=2)  # punishment strength 2 >= 2k+2t = 2
+        assert compile_theorem45(spec, 1, 0, epsilon=0.1)
+
+    def test_epsilon_controls_field_choice(self):
+        loose = compile_theorem42(consensus_game(7), 1, 1, epsilon=0.5)
+        tight = compile_theorem42(consensus_game(7), 1, 1, epsilon=1e-6)
+        assert loose.game.field.p < tight.game.field.p
+        assert loose.epsilon_achieved <= 0.5
+        assert tight.epsilon_achieved <= 1e-6
+
+    def test_describe(self):
+        proto = compile_theorem41(consensus_game(9), 1, 1)
+        text = proto.describe()
+        assert "Theorem 4.1" in text and "n > 4k+4t" in text
+
+
+class TestTheorem41Runs:
+    def test_consensus_coordinates_across_schedulers(self):
+        proto = compile_theorem41(consensus_game(9), 1, 1)
+        for scheduler in scheduler_zoo(seed=2, parties=range(9))[:4]:
+            run = proto.game.run((0,) * 9, scheduler, seed=3)
+            assert len(set(run.actions)) == 1
+            assert run.actions[0] in (0, 1)
+
+    def test_byzantine_agreement_types_flow_through(self):
+        proto = compile_theorem41(byzantine_agreement_game(9), 1, 1)
+        types = (1, 1, 1, 1, 1, 1, 0, 0, 0)
+        run = proto.game.run(types, FifoScheduler(), seed=1)
+        assert run.actions == (1,) * 9
+
+    def test_tolerates_crashes_up_to_budget(self):
+        from repro.analysis.deviations import ct_crash
+
+        proto = compile_theorem41(consensus_game(9), 1, 1)
+        deviations = {7: ct_crash(), 8: ct_crash()}
+        run = proto.game.run(
+            (0,) * 9, FifoScheduler(), seed=2, deviations=deviations
+        )
+        honest_actions = run.actions[:7]
+        assert len(set(honest_actions)) == 1
+
+    def test_lying_shares_corrected(self):
+        from repro.analysis.deviations import ct_lying_shares
+
+        spec = consensus_game(9)
+        proto = compile_theorem41(spec, 1, 1)
+        run = proto.game.run(
+            (0,) * 9, FifoScheduler(), seed=4,
+            deviations={8: ct_lying_shares(spec)},
+        )
+        assert len(set(run.actions[:8])) == 1
+
+    def test_outcome_distribution_matches_mediator_coin(self):
+        proto = compile_theorem41(consensus_game(9), 1, 1)
+        ones = 0
+        for seed in range(24):
+            run = proto.game.run((0,) * 9, FifoScheduler(), seed=seed)
+            ones += run.actions[0]
+        assert 4 <= ones <= 20  # fair-ish coin
+
+
+class TestTheorem42Runs:
+    def test_consensus_at_tighter_bound(self):
+        proto = compile_theorem42(consensus_game(7), 1, 1, epsilon=0.01)
+        for seed in range(4):
+            run = proto.game.run((0,) * 7, RandomScheduler(seed), seed=seed)
+            assert len(set(run.actions)) == 1
+
+    def test_small_field_still_correct_honest(self):
+        proto = compile_theorem42(
+            consensus_game(7), 1, 1, epsilon=1.0, field=GF(101)
+        )
+        run = proto.game.run((0,) * 7, FifoScheduler(), seed=0)
+        assert len(set(run.actions)) == 1
+
+    def test_mac_rejection_with_liar(self):
+        from repro.analysis.deviations import ct_lying_shares
+
+        spec = consensus_game(7)
+        proto = compile_theorem42(spec, 1, 1, epsilon=0.01)
+        run = proto.game.run(
+            (0,) * 7, FifoScheduler(), seed=5,
+            deviations={6: ct_lying_shares(spec)},
+        )
+        assert len(set(run.actions[:6])) == 1
+
+
+class TestTheorem44Runs:
+    def test_honest_run_reaches_equilibrium(self):
+        proto = compile_theorem44(section64_game(4, k=1), 1, 0)
+        run = proto.game.run((0,) * 4, FifoScheduler(), seed=0)
+        assert len(set(run.actions)) == 1
+        assert run.actions[0] in (0, 1)
+
+    def test_single_staller_cannot_deadlock(self):
+        """Substrate-strength note (DESIGN.md §3): with dealt offline
+        material, a single staller at the Theorem 4.4 bound cannot block
+        the error-corrected openings — honest players still move."""
+        from repro.analysis.deviations import ct_stall_after
+
+        spec = section64_game(4, k=1)
+        proto = compile_theorem44(spec, 1, 0)
+        run = proto.game.run(
+            (0,) * 4, FifoScheduler(), seed=1,
+            deviations={3: ct_stall_after(spec, limit=2)},
+        )
+        assert len(set(run.actions[:3])) == 1
+        assert run.actions[0] in (0, 1)
+
+    def test_blocking_coalition_triggers_punishment_wills(self):
+        """A coalition large enough to stall the protocol gets everyone's
+        ⊥ will executed — and ends up below the 1.5 equilibrium payoff."""
+        from repro.analysis.deviations import ct_stall_after
+
+        spec = section64_game(4, k=1)
+        proto = compile_theorem44(spec, 1, 0)
+        run = proto.game.run(
+            (0,) * 4, FifoScheduler(), seed=1,
+            deviations={
+                2: ct_stall_after(spec, limit=2),
+                3: ct_stall_after(spec, limit=2),
+            },
+        )
+        # Nobody reconstructs: every will (honest and staller) plays BOT.
+        assert run.actions == (BOT,) * 4
+        payoff = spec.game.utility(run.types, run.actions)[3]
+        assert payoff == pytest.approx(1.1)  # below the 1.5 equilibrium
+
+    def test_stalling_is_unprofitable_on_average(self):
+        from repro.analysis.deviations import ct_stall_after
+
+        spec = section64_game(4, k=1)
+        proto = compile_theorem44(spec, 1, 0)
+        stall = {
+            2: ct_stall_after(spec, limit=2),
+            3: ct_stall_after(spec, limit=2),
+        }
+        honest, stalled = [], []
+        for seed in range(12):
+            run_h = proto.game.run((0,) * 4, FifoScheduler(), seed=seed)
+            honest.append(spec.game.utility(run_h.types, run_h.actions)[3])
+            run_s = proto.game.run(
+                (0,) * 4, FifoScheduler(), seed=seed, deviations=stall
+            )
+            stalled.append(spec.game.utility(run_s.types, run_s.actions)[3])
+        assert sum(stalled) / len(stalled) < sum(honest) / len(honest)
+
+    def test_cotermination_over_adversaries(self):
+        from repro.analysis.deviations import ct_crash, ct_stall_after
+
+        spec = section64_game(4, k=1)
+        proto = compile_theorem44(spec, 1, 0)
+        report = check_cotermination(
+            proto.game,
+            schedulers=[FifoScheduler(), RandomScheduler(1)],
+            adversaries=[
+                None,
+                {3: ct_crash()},
+                {3: ct_stall_after(spec, limit=3)},
+                {3: ct_stall_after(spec, limit=8)},
+            ],
+            trials=3,
+        )
+        assert report.holds, report.details
+
+
+class TestTheorem45Runs:
+    def test_honest_run(self):
+        proto = compile_theorem45(section64_game(7, k=2), 1, 0, epsilon=0.05)
+        run = proto.game.run((0,) * 7, FifoScheduler(), seed=0)
+        assert len(set(run.actions)) == 1
+
+    def test_deadlock_punishment(self):
+        from repro.analysis.deviations import ct_stall_after
+
+        spec = section64_game(7, k=2)
+        proto = compile_theorem45(spec, 1, 0, epsilon=0.05)
+        run = proto.game.run(
+            (0,) * 7, FifoScheduler(), seed=1,
+            deviations={
+                5: ct_stall_after(spec, limit=2),
+                6: ct_stall_after(spec, limit=2),
+            },
+        )
+        assert all(a == BOT for a in run.actions[:5])
+
+
+class TestDefaultMoveVsAH:
+    def test_default_move_approach_on_41(self):
+        proto = compile_theorem41(
+            consensus_game(9), 1, 1, approach="default"
+        )
+        from repro.analysis.deviations import ct_crash
+
+        # Even if k+t players crash, the engine completes (n > 4(k+t)) and
+        # honest players move; the crashed players' default move applies.
+        run = proto.game.run(
+            (0,) * 9, FifoScheduler(), seed=0,
+            deviations={7: ct_crash(), 8: ct_crash()},
+        )
+        assert run.actions[7] == 0 and run.actions[8] == 0  # default move
+
+    def test_ah_approach_without_wills_matches_default(self):
+        game = CheapTalkGame(consensus_game(9), 1, 1, approach="ah")
+        run = game.run((0,) * 9, FifoScheduler(), seed=0)
+        assert len(set(run.actions)) == 1

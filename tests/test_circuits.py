@@ -1,0 +1,203 @@
+"""Tests for the arithmetic-circuit layer (builders + reference evaluation)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import Circuit
+from repro.errors import MediatorError
+from repro.field import GF, DEFAULT_PRIME, SMALL_PRIME
+
+F = GF(DEFAULT_PRIME)
+
+bits = st.integers(0, 1)
+
+
+def ev(circuit, inputs, seed=0, randomness=None):
+    out = circuit.evaluate(inputs, random.Random(seed), randomness=randomness)
+    return {k: int(v) for k, v in out.items()}
+
+
+class TestGateBasics:
+    def test_const_add_sub_mul(self):
+        c = Circuit(F)
+        a, b = c.const(7), c.const(5)
+        c.output(c.add(a, b), 0, "add")
+        c.output(c.sub(a, b), 0, "sub")
+        c.output(c.mul(a, b), 0, "mul")
+        out = ev(c, {})
+        assert (out["add"], out["sub"], out["mul"]) == (12, 2, 35)
+
+    def test_scalar_gates(self):
+        c = Circuit(F)
+        a = c.const(6)
+        c.output(c.smul(a, 3), 0, "smul")
+        c.output(c.sadd(a, 4), 0, "sadd")
+        out = ev(c, {})
+        assert (out["smul"], out["sadd"]) == (18, 10)
+
+    def test_input_gate_requires_value(self):
+        c = Circuit(F)
+        c.output(c.input(2), 0, "echo")
+        with pytest.raises(MediatorError):
+            ev(c, {})
+        assert ev(c, {2: 9})["echo"] == 9
+
+    def test_forward_reference_rejected(self):
+        from repro.circuits import Gate
+
+        c = Circuit(F)
+        c.gates.append(Gate("add", (0, 1)))  # references undefined wires
+        with pytest.raises(MediatorError):
+            c.validate()
+
+    def test_output_wire_bounds_checked(self):
+        from repro.circuits import OutputSpec
+
+        c = Circuit(F)
+        c.const(1)
+        c.outputs.append(OutputSpec(5, 0, "bad"))
+        with pytest.raises(MediatorError):
+            c.validate()
+
+    def test_accounting(self):
+        c = Circuit(F)
+        x = c.input(0)
+        y = c.input(1)
+        c.mul(x, y)
+        c.rand()
+        c.randbit()
+        c.randint(5)
+        assert c.mul_count == 1
+        assert c.rand_count == 1
+        assert c.randbit_count == 1
+        assert c.randint_count == 1
+        assert c.input_players() == [0, 1]
+
+    def test_pinned_randomness(self):
+        c = Circuit(F)
+        r = c.randbit()
+        c.output(r, 0, "bit")
+        assert ev(c, {}, randomness={r: F(1)})["bit"] == 1
+        assert ev(c, {}, randomness={r: F(0)})["bit"] == 0
+
+    def test_randint_range(self):
+        c = Circuit(F)
+        r = c.randint(7)
+        c.output(r, 0, "r")
+        values = {ev(c, {}, seed=s)["r"] for s in range(60)}
+        assert values == set(range(7))
+
+    def test_randint_bad_modulus(self):
+        with pytest.raises(MediatorError):
+            Circuit(F).randint(0)
+
+    def test_output_all(self):
+        c = Circuit(F)
+        w = c.const(3)
+        c.output_all(w, [0, 1, 2], "v")
+        out = ev(c, {})
+        assert out == {"v@0": 3, "v@1": 3, "v@2": 3}
+
+
+class TestBooleanHelpers:
+    @given(bits, bits)
+    @settings(max_examples=8)
+    def test_xor_and_or_not(self, x, y):
+        c = Circuit(F)
+        a, b = c.input(0), c.input(1)
+        c.output(c.b_xor(a, b), 0, "xor")
+        c.output(c.b_and(a, b), 0, "and")
+        c.output(c.b_or(a, b), 0, "or")
+        c.output(c.b_not(a), 0, "not")
+        out = ev(c, {0: x, 1: y})
+        assert out["xor"] == x ^ y
+        assert out["and"] == x & y
+        assert out["or"] == x | y
+        assert out["not"] == 1 - x
+
+    @given(st.lists(bits, min_size=1, max_size=6))
+    @settings(max_examples=20)
+    def test_xor_many(self, values):
+        c = Circuit(F)
+        wires = [c.input(i) for i in range(len(values))]
+        c.output(c.xor_many(wires), 0, "x")
+        expected = 0
+        for v in values:
+            expected ^= v
+        assert ev(c, dict(enumerate(values)))["x"] == expected
+
+    def test_xor_many_empty_rejected(self):
+        with pytest.raises(MediatorError):
+            Circuit(F).xor_many([])
+
+    @given(bits, st.integers(0, 9), st.integers(0, 9))
+    @settings(max_examples=10)
+    def test_mux(self, sel, x, y):
+        c = Circuit(F)
+        s, a, b = c.input(0), c.input(1), c.input(2)
+        c.output(c.mux(s, a, b), 0, "m")
+        out = ev(c, {0: sel, 1: x, 2: y})
+        assert out["m"] == (x if sel else y)
+
+
+class TestLookupAndThreshold:
+    @given(st.integers(0, 4))
+    @settings(max_examples=10)
+    def test_lookup_table(self, x):
+        table = {0: 3, 1: 1, 2: 4, 3: 1, 4: 5}
+        c = Circuit(F)
+        a = c.input(0)
+        c.output(c.lookup(a, table, list(range(5))), 0, "t")
+        assert ev(c, {0: x})["t"] == table[x]
+
+    def test_lookup_zero_table(self):
+        c = Circuit(F)
+        a = c.input(0)
+        c.output(c.lookup(a, {}, [0, 1]), 0, "z")
+        assert ev(c, {0: 1})["z"] == 0
+
+    @given(st.integers(0, 4))
+    @settings(max_examples=10)
+    def test_eq_const(self, x):
+        c = Circuit(F)
+        a = c.input(0)
+        c.output(c.eq_const(a, 2, list(range(5))), 0, "eq")
+        assert ev(c, {0: x})["eq"] == (1 if x == 2 else 0)
+
+    @given(st.lists(bits, min_size=1, max_size=7), st.integers(0, 7))
+    @settings(max_examples=25)
+    def test_threshold(self, values, minimum):
+        c = Circuit(F)
+        wires = [c.input(i) for i in range(len(values))]
+        c.output(c.threshold(wires, minimum), 0, "thr")
+        expected = 1 if sum(values) >= minimum else 0
+        assert ev(c, dict(enumerate(values)))["thr"] == expected
+
+    @given(st.lists(bits, min_size=1, max_size=7))
+    @settings(max_examples=25)
+    def test_majority(self, values):
+        c = Circuit(F)
+        wires = [c.input(i) for i in range(len(values))]
+        c.output(c.majority(wires), 0, "maj")
+        expected = 1 if sum(values) * 2 > len(values) else 0
+        assert ev(c, dict(enumerate(values)))["maj"] == expected
+
+    def test_powers(self):
+        c = Circuit(F)
+        a = c.input(0)
+        wires = c.powers(a, 4)
+        for i, w in enumerate(wires):
+            c.output(w, 0, f"p{i}")
+        out = ev(c, {0: 3})
+        assert [out[f"p{i}"] for i in range(5)] == [1, 3, 9, 27, 81]
+
+    def test_small_field_lookup_wraps(self):
+        f = GF(SMALL_PRIME)
+        c = Circuit(f)
+        a = c.input(0)
+        c.output(c.lookup(a, {v: v * v % SMALL_PRIME for v in range(6)},
+                          list(range(6))), 0, "sq")
+        out = c.evaluate({0: 5}, random.Random(0))
+        assert int(out["sq"]) == 25

@@ -1,0 +1,103 @@
+"""Tests for the CLI and text reporting."""
+
+import pytest
+
+from repro.analysis.reporting import (
+    format_outcome_samples,
+    format_run,
+    format_solution_report,
+    format_table,
+)
+from repro.cli import GAMES, build_parser, main
+from repro.games import ConstantStrategy, StrategyProfile, check_nash
+from repro.games.library import consensus_game
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+        assert "333" in lines[3]
+
+    def test_empty_rows(self):
+        text = format_table(["x"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestFormatReports:
+    def test_solution_report_holds(self):
+        game = consensus_game(4).game
+        profile = StrategyProfile([ConstantStrategy(0)] * 4)
+        text = format_solution_report(check_nash(game, profile))
+        assert "HOLDS" in text
+
+    def test_solution_report_violations_listed(self):
+        from repro.games import BayesianGame, TypeSpace
+
+        payoffs = {
+            ("C", "C"): (3.0, 3.0),
+            ("C", "D"): (0.0, 4.0),
+            ("D", "C"): (4.0, 0.0),
+            ("D", "D"): (1.0, 1.0),
+        }
+        game = BayesianGame(
+            2, [["C", "D"]] * 2, TypeSpace.single([0, 0]),
+            lambda t, a: payoffs[tuple(a)],
+        )
+        profile = StrategyProfile([ConstantStrategy("C")] * 2)
+        text = format_solution_report(check_nash(game, profile))
+        assert "VIOLATED" in text
+        assert "coalition" in text
+
+    def test_format_run(self):
+        class FakeRun:
+            types = (0, 0)
+            actions = (1, 1)
+
+            def message_count(self):
+                return 5
+
+        text = format_run(FakeRun())
+        assert "messages=5" in text
+
+    def test_format_outcome_samples(self):
+        samples = {(0,): [(1,), (1,), (0,)]}
+        text = format_outcome_samples(samples)
+        assert "0.667" in text
+
+
+class TestCli:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["demo", "--game", "consensus", "-n", "9"])
+        assert args.command == "demo"
+
+    def test_games_command(self, capsys):
+        main(["games", "-n", "9"])
+        out = capsys.readouterr().out
+        assert "consensus" in out
+        assert "section64" in out
+
+    def test_check_command(self, capsys):
+        main(["check", "--game", "consensus", "-n", "5", "-k", "1", "-t", "1"])
+        out = capsys.readouterr().out
+        assert "HOLDS" in out
+
+    def test_compile_r1_command(self, capsys):
+        main([
+            "compile", "--game", "consensus", "-n", "7", "-k", "1",
+            "-t", "1", "--theorem", "r1",
+        ])
+        out = capsys.readouterr().out
+        assert "R1 synchronous baseline" in out
+
+    def test_unknown_game_exits(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "--game", "nope"])
+
+    def test_all_game_makers_construct(self):
+        for name, maker in GAMES.items():
+            spec = maker(9)
+            assert spec.game.n >= 2, name

@@ -1,0 +1,84 @@
+"""Input equivocation in cheap talk is defeated by reliable broadcast.
+
+In the mediator game, a liar sends one (possibly false) type to one
+trusted mediator. In cheap talk there is no mediator: the input δ travels
+by Bracha reliable broadcast precisely so a malicious input player cannot
+show different inputs to different peers. These tests mount the
+equivocation attack directly and verify RBC's agreement property closes it.
+"""
+
+from repro.cheaptalk.game import ENGINE_SID, CheapTalkGame
+from repro.field import GF, DEFAULT_PRIME
+from repro.games.library import byzantine_agreement_game
+from repro.sim import FifoScheduler, RandomScheduler
+from repro.sim.process import Process
+
+F = GF(DEFAULT_PRIME)
+
+
+class EquivocatingInput(Process):
+    """A malicious input player that sends conflicting RBC 'init' messages.
+
+    It short-circuits the honest RBC dealer logic: half the peers receive
+    init(x), the other half init(x'). Bracha's echo quorum prevents both
+    values from being delivered; at most one survives.
+    """
+
+    def __init__(self, spec, pid, n, delta_a, delta_b):
+        self.spec = spec
+        self.pid = pid
+        self.n = n
+        self.delta_a = delta_a
+        self.delta_b = delta_b
+
+    def on_start(self, ctx):
+        sid = ("rbc", self.pid, (ENGINE_SID, "delta"))
+        half = self.n // 2
+        for peer in range(self.n):
+            value = self.delta_a if peer < half else self.delta_b
+            ctx.send(peer, (sid, ("init", value)))
+
+    def on_message(self, ctx, sender, payload):
+        pass  # sends nothing further (does not echo/ready)
+
+
+def run_with_equivocator(seed, scheduler=None):
+    n, k, t = 9, 1, 1
+    spec = byzantine_agreement_game(n)
+    game = CheapTalkGame(spec, k, t, mode="bcg")
+    types = (1, 1, 1, 1, 1, 0, 0, 0, 0)  # 5-4 majority without the liar
+
+    setup = game.build_setup(seed)
+    # The equivocator claims input 0 to half the network and 1 to the rest.
+    pack = setup.pack_for(8)
+    mask = pack.private_values[("mask", 8)]
+    delta_zero = int(F(0) - mask)
+    delta_one = int(F(1) - mask)
+
+    def factory(pid, own_type, config):
+        return EquivocatingInput(spec, pid, n, delta_zero, delta_one)
+
+    run = game.run(
+        types, scheduler or FifoScheduler(), seed=seed,
+        deviations={8: factory},
+    )
+    return run
+
+
+class TestEquivocationDefeated:
+    def test_honest_players_agree_despite_split_inputs(self):
+        for seed in range(3):
+            run = run_with_equivocator(seed, RandomScheduler(seed))
+            honest = run.actions[:8]
+            assert len(set(honest)) == 1, honest
+            assert honest[0] in (0, 1)
+
+    def test_agreed_value_consistent_with_one_claim(self):
+        """Whatever the liar achieved, all honest parties computed the
+        majority of ONE consistent reported profile: either the liar's 0,
+        its 1, or its exclusion (default 0). Majority is 1 in the first
+        and last case (5-4-ish), 1 or flip in the middle — but never a
+        split."""
+        run = run_with_equivocator(7)
+        honest = run.actions[:8]
+        assert len(set(honest)) == 1

@@ -1,0 +1,137 @@
+"""Unit and property tests for GF(p) arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FieldError
+from repro.field import GF, DEFAULT_PRIME, SMALL_PRIME
+
+F = GF(SMALL_PRIME)
+BIG = GF(DEFAULT_PRIME)
+
+elements = st.integers(min_value=0, max_value=SMALL_PRIME - 1).map(F)
+nonzero = st.integers(min_value=1, max_value=SMALL_PRIME - 1).map(F)
+
+
+class TestConstruction:
+    def test_field_is_cached(self):
+        assert GF(SMALL_PRIME) is GF(SMALL_PRIME)
+
+    def test_modulus_below_two_rejected(self):
+        with pytest.raises(FieldError):
+            GF(1)
+
+    def test_coercion_wraps_modulo_p(self):
+        assert F(SMALL_PRIME + 5) == F(5)
+        assert F(-1) == F(SMALL_PRIME - 1)
+
+    def test_coercion_across_fields_rejected(self):
+        with pytest.raises(FieldError):
+            BIG(F(3))
+
+    def test_zero_and_one(self):
+        assert F.zero() == 0
+        assert F.one() == 1
+        assert not F.zero()
+        assert F.one()
+
+    def test_elements_enumeration(self):
+        assert len(list(F.elements())) == SMALL_PRIME
+
+    def test_batch(self):
+        assert F.batch([1, 2, 3]) == [F(1), F(2), F(3)]
+
+    def test_immutability(self):
+        x = F(3)
+        with pytest.raises(FieldError):
+            x.value = 4
+
+
+class TestArithmetic:
+    def test_add_sub_int_mixing(self):
+        assert F(5) + 10 == F(15)
+        assert 10 + F(5) == F(15)
+        assert F(5) - 10 == F(-5)
+        assert 10 - F(5) == F(5)
+
+    def test_mul_div(self):
+        assert F(7) * F(8) == F(56)
+        assert (F(7) * F(8)) / F(8) == F(7)
+        assert 1 / F(2) * F(2) == F(1)
+
+    def test_pow(self):
+        assert F(3) ** 0 == F(1)
+        assert F(3) ** 2 == F(9)
+        assert F(3) ** -1 == F(3).inverse()
+
+    def test_fermat_inverse_on_big_field(self):
+        x = BIG(123456789)
+        assert x * x.inverse() == BIG(1)
+
+    def test_zero_inverse_rejected(self):
+        with pytest.raises(FieldError):
+            F(0).inverse()
+        with pytest.raises(FieldError):
+            F(1) / F(0)
+
+    def test_mixed_field_arithmetic_rejected(self):
+        with pytest.raises(FieldError):
+            F(1) + BIG(1)
+
+    def test_hash_consistency(self):
+        assert hash(F(5)) == hash(F(5 + SMALL_PRIME))
+        assert len({F(1), F(1), F(2)}) == 2
+
+    def test_int_conversion(self):
+        assert int(F(42)) == 42
+
+
+class TestFieldAxioms:
+    @given(elements, elements, elements)
+    def test_addition_associative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(elements, elements)
+    def test_addition_commutative(self, a, b):
+        assert a + b == b + a
+
+    @given(elements, elements, elements)
+    def test_multiplication_associative(self, a, b, c):
+        assert (a * b) * c == a * (b * c)
+
+    @given(elements, elements)
+    def test_multiplication_commutative(self, a, b):
+        assert a * b == b * a
+
+    @given(elements, elements, elements)
+    def test_distributivity(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @given(elements)
+    def test_additive_inverse(self, a):
+        assert a + (-a) == F.zero()
+
+    @given(nonzero)
+    def test_multiplicative_inverse(self, a):
+        assert a * a.inverse() == F.one()
+
+    @given(elements)
+    def test_identity_elements(self, a):
+        assert a + F.zero() == a
+        assert a * F.one() == a
+
+
+class TestRandomness:
+    def test_random_elements_deterministic_per_seed(self):
+        import random
+
+        a = F.random(random.Random(7))
+        b = F.random(random.Random(7))
+        assert a == b
+
+    def test_random_nonzero(self):
+        import random
+
+        rng = random.Random(0)
+        for _ in range(50):
+            assert F.random_nonzero(rng) != F.zero()

@@ -1,0 +1,59 @@
+"""Tests for the pure-Nash enumeration utility."""
+
+import pytest
+
+from repro.games import BayesianGame, TypeSpace
+from repro.games.solution import find_pure_nash
+
+
+def pd_game():
+    payoffs = {
+        ("C", "C"): (3.0, 3.0),
+        ("C", "D"): (0.0, 4.0),
+        ("D", "C"): (4.0, 0.0),
+        ("D", "D"): (1.0, 1.0),
+    }
+    return BayesianGame(
+        2, [["C", "D"]] * 2, TypeSpace.single([0, 0]),
+        lambda t, a: payoffs[tuple(a)],
+    )
+
+
+class TestFindPureNash:
+    def test_prisoners_dilemma_unique(self):
+        assert find_pure_nash(pd_game()) == [("D", "D")]
+
+    def test_coordination_two_equilibria(self):
+        game = BayesianGame(
+            2, [[0, 1]] * 2, TypeSpace.single([0, 0]),
+            lambda t, a: (1.0, 1.0) if a[0] == a[1] else (0.0, 0.0),
+        )
+        assert set(find_pure_nash(game)) == {(0, 0), (1, 1)}
+
+    def test_matching_pennies_has_no_pure_equilibrium(self):
+        game = BayesianGame(
+            2, [["H", "T"]] * 2, TypeSpace.single([0, 0]),
+            lambda t, a: (1.0, -1.0) if a[0] == a[1] else (-1.0, 1.0),
+        )
+        assert find_pure_nash(game) == []
+
+    def test_bayesian_equilibrium_with_types(self):
+        """One informed player: its equilibrium strategy follows its type."""
+        game = BayesianGame(
+            2,
+            [[0, 1], [0]],
+            TypeSpace.independent_uniform([[0, 1], [0]]),
+            # Player 0 is paid for matching its own type; player 1 inert.
+            lambda t, a: (1.0 if a[0] == t[0] else 0.0, 0.0),
+        )
+        equilibria = find_pure_nash(game)
+        assert ({0: 0, 1: 1}, 0) in equilibria
+
+    def test_section64_all_one_is_pure_nash(self):
+        from repro.games.library import section64_game
+
+        spec = section64_game(4, k=1)
+        equilibria = find_pure_nash(spec.game)
+        assert (1, 1, 1, 1) in equilibria
+        # All-zero is also a Nash equilibrium (unilateral moves give <= 1).
+        assert (0, 0, 0, 0) in equilibria

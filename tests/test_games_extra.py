@@ -1,0 +1,125 @@
+"""Tests for the extended game library and its generic mediator circuits."""
+
+import random
+
+import pytest
+
+from repro.cheaptalk import compile_theorem41, mediator_circuit_for
+from repro.cheaptalk.circuits import output_label
+from repro.errors import GameError
+from repro.field import GF, DEFAULT_PRIME
+from repro.games.library_extra import (
+    battle_of_sexes,
+    minority_game,
+    public_goods_game,
+    volunteer_game,
+)
+from repro.mediator.ideal import check_ideal_k_resilience, honest_payoffs
+from repro.sim import FifoScheduler
+
+F = GF(DEFAULT_PRIME)
+
+
+class TestVolunteer:
+    def test_payoffs(self):
+        spec = volunteer_game(4, benefit=2.0, cost=1.2)
+        u = spec.game.utility
+        assert u((0,) * 4, ("go", "stay", "stay", "stay")) == (0.8, 2.0, 2.0, 2.0)
+        assert u((0,) * 4, ("stay",) * 4) == (0.0,) * 4
+
+    def test_obedience_is_equilibrium(self):
+        spec = volunteer_game(4, benefit=2.0, cost=1.2)
+        assert check_ideal_k_resilience(spec, 1).holds
+
+    def test_shirking_breaks_when_cost_exceeds_benefit_margin(self):
+        # With cost close to benefit the appointed volunteer still obeys as
+        # long as cost < benefit; at cost > benefit construction is refused.
+        with pytest.raises(GameError):
+            volunteer_game(4, benefit=1.0, cost=1.5)
+
+    def test_expected_payoff_is_symmetric(self):
+        spec = volunteer_game(5)
+        payoffs = honest_payoffs(spec, (), ())
+        values = set(round(v, 9) for v in payoffs.values())
+        assert len(values) == 1
+
+
+class TestBattleOfSexes:
+    def test_fair_coin(self):
+        spec = battle_of_sexes()
+        payoffs = honest_payoffs(spec, (), ())
+        assert payoffs[0] == pytest.approx(2.5)
+        assert payoffs[1] == pytest.approx(2.5)
+
+    def test_obedience(self):
+        assert check_ideal_k_resilience(battle_of_sexes(), 1).holds
+
+
+class TestPublicGoods:
+    def test_pivotality_guard(self):
+        with pytest.raises(GameError):
+            public_goods_game(6, threshold=4, pot=5.0, cost=1.0)
+
+    def test_obedience_is_equilibrium(self):
+        spec = public_goods_game(4, threshold=2, pot=6.0, cost=1.0)
+        assert check_ideal_k_resilience(spec, 1).holds
+
+    def test_threshold_payoffs(self):
+        spec = public_goods_game(4, threshold=2, pot=6.0, cost=1.0)
+        u = spec.game.utility((0,) * 4,
+                              ("contribute", "contribute", "defect", "defect"))
+        assert u == (0.5, 0.5, 1.5, 1.5)
+
+
+class TestMinority:
+    def test_even_n_rejected(self):
+        with pytest.raises(GameError):
+            minority_game(4)
+
+    def test_mediator_always_builds_largest_minority(self):
+        spec = minority_game(5)
+        for seed in range(10):
+            rec = spec.mediator_fn((0,) * 5, random.Random(seed))
+            assert sum(rec) == 2
+
+    def test_recommended_minority_wins(self):
+        spec = minority_game(5)
+        rec = spec.mediator_fn((0,) * 5, random.Random(1))
+        payoffs = spec.game.utility((0,) * 5, rec)
+        for i in range(5):
+            assert payoffs[i] == (1.0 if rec[i] == 1 else 0.0)
+
+
+class TestGenericCircuits:
+    @pytest.mark.parametrize(
+        "spec_maker",
+        [lambda: volunteer_game(5), battle_of_sexes,
+         lambda: public_goods_game(4, 2), lambda: minority_game(5)],
+        ids=["volunteer", "battle", "public-goods", "minority"],
+    )
+    def test_circuit_matches_dist(self, spec_maker):
+        spec = spec_maker()
+        circuit = mediator_circuit_for(spec, F)
+        dist = spec.mediator_dist(spec.game.type_space.profiles()[0])
+        seen = {}
+        trials = 40 * len(dist)
+        for i in range(trials):
+            out = circuit.evaluate({}, random.Random(i))
+            actions = tuple(
+                spec.decode_action(int(out[output_label(p)]))
+                for p in range(spec.game.n)
+            )
+            seen[actions] = seen.get(actions, 0) + 1
+        assert set(seen) == set(dist)
+
+    def test_volunteer_cheap_talk_end_to_end(self):
+        spec = volunteer_game(9)
+        proto = compile_theorem41(spec, 1, 1)
+        run = proto.game.run((0,) * 9, FifoScheduler(), seed=1)
+        assert run.actions.count("go") == 1
+
+    def test_minority_cheap_talk_end_to_end(self):
+        spec = minority_game(9)
+        proto = compile_theorem41(spec, 1, 1)
+        run = proto.game.run((0,) * 9, FifoScheduler(), seed=2)
+        assert run.actions.count(1) == 4

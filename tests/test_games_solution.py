@@ -1,0 +1,310 @@
+"""Tests for solution-concept checkers and punishment verification."""
+
+import pytest
+
+from repro.games import (
+    BayesianGame,
+    ConstantStrategy,
+    StrategyProfile,
+    TypeSpace,
+    UniformStrategy,
+    check_k_resilient,
+    check_kt_robust,
+    check_nash,
+    check_punishment_strategy,
+    check_t_immune,
+)
+from repro.games.library import (
+    BOT,
+    byzantine_agreement_game,
+    chicken_game,
+    consensus_game,
+    free_rider_game,
+    section64_game,
+    shamir_secret_game,
+)
+from repro.games.punishment import certify_punishment
+
+
+def pd_game():
+    payoffs = {
+        ("C", "C"): (3.0, 3.0),
+        ("C", "D"): (0.0, 4.0),
+        ("D", "C"): (4.0, 0.0),
+        ("D", "D"): (1.0, 1.0),
+    }
+    return BayesianGame(
+        2,
+        [["C", "D"], ["C", "D"]],
+        TypeSpace.single([0, 0]),
+        lambda t, a: payoffs[tuple(a)],
+        name="pd",
+    )
+
+
+class TestNash:
+    def test_defect_defect_is_nash(self):
+        game = pd_game()
+        profile = StrategyProfile([ConstantStrategy("D")] * 2)
+        assert check_nash(game, profile).holds
+
+    def test_cooperate_cooperate_is_not_nash(self):
+        game = pd_game()
+        profile = StrategyProfile([ConstantStrategy("C")] * 2)
+        report = check_nash(game, profile)
+        assert not report.holds
+        assert report.violations[0].gain == pytest.approx(1.0)
+
+    def test_epsilon_nash_tolerates_small_gain(self):
+        game = pd_game()
+        profile = StrategyProfile([ConstantStrategy("C")] * 2)
+        # Gain from defecting is exactly 1.0: 1.1-Nash holds, 0.9-Nash fails.
+        assert check_nash(game, profile, epsilon=1.1).holds
+        assert not check_nash(game, profile, epsilon=0.9).holds
+
+
+class TestResilience:
+    def test_pd_not_2_resilient(self):
+        """The pair jointly moving D,D -> C,C makes both strictly better."""
+        game = pd_game()
+        profile = StrategyProfile([ConstantStrategy("D")] * 2)
+        assert check_k_resilient(game, profile, 1).holds
+        report = check_k_resilient(game, profile, 2)
+        assert not report.holds
+        assert report.violations[0].coalition == (0, 1)
+
+    def test_mixed_coalition_deviation_found_by_lp(self):
+        """No pure joint deviation dominates, but a mixture does."""
+        payoffs = {
+            ("a", "a"): (0.5, 0.5),
+            ("a", "b"): (2.0, 0.0),
+            ("b", "a"): (0.0, 2.0),
+            ("b", "b"): (0.0, 0.0),
+        }
+        game = BayesianGame(
+            2,
+            [["a", "b"], ["a", "b"]],
+            TypeSpace.single([0, 0]),
+            lambda t, a: payoffs[tuple(a)],
+        )
+        profile = StrategyProfile([ConstantStrategy("a")] * 2)
+        # Check no single pure deviation dominates:
+        for cell, (u0, u1) in payoffs.items():
+            assert not (u0 > 0.5 and u1 > 0.5)
+        report = check_k_resilient(game, profile, 2)
+        assert not report.holds  # 0.5*(2,0) + 0.5*(0,2) = (1,1) > (0.5,0.5)
+        assert report.violations[0].gain == pytest.approx(0.5, abs=1e-6)
+
+    def test_strong_resilience_stricter_than_weak(self):
+        """In PD, one defector profits: strong 2-resilience of (C,C) fails
+        even where the deviation hurts the other member."""
+        game = pd_game()
+        cooperate = StrategyProfile([ConstantStrategy("C")] * 2)
+        weak = check_k_resilient(game, cooperate, 2, strong=False)
+        strong = check_k_resilient(game, cooperate, 2, strong=True)
+        assert not strong.holds
+        # Weak 2-resilience: (C,C) is the social optimum; no joint move makes
+        # BOTH strictly better, but single defection (k=1 subset) does.
+        assert not weak.holds  # coalition {0} alone already gains
+
+    def test_consensus_profile_is_k_resilient(self):
+        spec = consensus_game(5)
+        all_zero = StrategyProfile([ConstantStrategy(0)] * 5)
+        assert check_k_resilient(spec.game, all_zero, 2).holds
+
+    def test_fixed_malicious_excluded_from_coalitions(self):
+        game = pd_game()
+        profile = StrategyProfile([ConstantStrategy("D")] * 2)
+        report = check_k_resilient(game, profile, 2, fixed_malicious=(1,))
+        # Only coalitions within {0} considered:
+        assert all(v.coalition <= (0,) for v in report.violations)
+        assert report.holds
+
+
+class TestImmunity:
+    def test_consensus_is_immune(self):
+        spec = consensus_game(5)
+        all_zero = StrategyProfile([ConstantStrategy(0)] * 5)
+        assert check_t_immune(spec.game, all_zero, 2).holds
+
+    def test_immunity_violation_detected(self):
+        """A game where one malicious player can zero an outsider's payoff."""
+        game = BayesianGame(
+            2,
+            [["a", "b"], ["a", "b"]],
+            TypeSpace.single([0, 0]),
+            lambda t, a: (1.0 if a[1] == "a" else 0.0, 1.0),
+        )
+        profile = StrategyProfile([ConstantStrategy("a")] * 2)
+        report = check_t_immune(game, profile, 1)
+        assert not report.holds
+        assert report.violations[0].malicious == (1,)
+
+    def test_t_zero_trivially_immune(self):
+        assert check_t_immune(pd_game(), StrategyProfile(
+            [ConstantStrategy("C")] * 2), 0).holds
+
+    def test_epsilon_immunity(self):
+        game = BayesianGame(
+            2,
+            [["a", "b"], ["a", "b"]],
+            TypeSpace.single([0, 0]),
+            lambda t, a: (1.0 if a[1] == "a" else 0.9, 1.0),
+        )
+        profile = StrategyProfile([ConstantStrategy("a")] * 2)
+        assert not check_t_immune(game, profile, 1).holds
+        assert check_t_immune(game, profile, 1, epsilon=0.2).holds
+        assert not check_t_immune(game, profile, 1, epsilon=0.1).holds
+
+
+class TestRobustness:
+    def test_consensus_kt_robust(self):
+        spec = consensus_game(5)
+        all_zero = StrategyProfile([ConstantStrategy(0)] * 5)
+        assert check_kt_robust(spec.game, all_zero, k=1, t=1).holds
+
+    def test_robustness_fails_when_immunity_fails(self):
+        game = BayesianGame(
+            2,
+            [["a", "b"], ["a", "b"]],
+            TypeSpace.single([0, 0]),
+            lambda t, a: (1.0 if a[1] == "a" else 0.0, 1.0),
+        )
+        profile = StrategyProfile([ConstantStrategy("a")] * 2)
+        assert not check_kt_robust(game, profile, k=1, t=1).holds
+
+    def test_robustness_detects_conditional_deviation(self):
+        """Coalition gains only when the malicious player deviates first."""
+        def utility(types, actions):
+            # Player 2 (malicious candidate) playing 'b' unlocks a bonus
+            # cell for player 0 at action 'b'; nobody is hurt (immunity ok).
+            if actions[2] == "b" and actions[0] == "b":
+                return (2.0, 1.0, 0.0)
+            return (1.0, 1.0, 0.0)
+
+        game = BayesianGame(
+            3,
+            [["a", "b"]] * 3,
+            TypeSpace.single([0] * 3),
+            utility,
+        )
+        profile = StrategyProfile([ConstantStrategy("a")] * 3)
+        assert check_kt_robust(game, profile, k=1, t=0).holds
+        report = check_kt_robust(game, profile, k=1, t=1)
+        assert not report.holds
+        assert any(v.malicious == (2,) for v in report.violations)
+
+
+class TestSection64Game:
+    def test_equilibrium_payoff_is_1_5(self):
+        from repro.games import expected_utilities, MixedStrategy
+
+        spec = section64_game(4, k=1)
+        # The mediator-coordinated play: everyone plays a common uniform bit.
+        # As a (correlated) outcome: half the time all-0 (payoff 1), half
+        # all-1 (payoff 2).
+        u0 = spec.game.utility((0, 0, 0, 0), (0, 0, 0, 0))[0]
+        u1 = spec.game.utility((0, 0, 0, 0), (1, 1, 1, 1))[0]
+        assert 0.5 * u0 + 0.5 * u1 == pytest.approx(1.5)
+
+    def test_payoff_table_matches_paper(self):
+        spec = section64_game(4, k=1)
+        u = lambda a: spec.game.utility((0,) * 4, a)[0]
+        assert u((BOT, BOT, 0, 0)) == 1.1  # >= k+1 bots
+        assert u((BOT, 0, 0, 0)) == 1.0  # <= k bots, rest 0
+        assert u((BOT, 1, 1, 1)) == 2.0  # <= k bots, rest 1
+        assert u((0, 1, 1, 1)) == 0.0  # mixed
+        assert u((0, 0, 0, 0)) == 1.0
+        assert u((1, 1, 1, 1)) == 2.0
+
+    def test_bot_profile_is_k_punishment(self):
+        spec = section64_game(4, k=1)
+        report = check_punishment_strategy(
+            spec.game, spec.punishment, m=1, equilibrium_payoff=lambda i, x: 1.5
+        )
+        assert report.holds
+
+    def test_punishment_certification_bounds(self):
+        spec = section64_game(4, k=1)
+        cert = certify_punishment(
+            spec.game, spec.punishment, equilibrium_payoff=lambda i, x: 1.5
+        )
+        # With n=4, k=1: 2 deviators leave 2 bots (>= k+1) -> 1.1 < 1.5; with
+        # 3 deviators playing 1 there is only 1 bot and payoff 2 > 1.5.
+        assert cert.max_m == 2
+
+    def test_n_not_greater_3k_rejected(self):
+        with pytest.raises(Exception):
+            section64_game(3, k=1)
+
+
+class TestLibrarySpecs:
+    def test_consensus_mediator_recommends_common_bit(self):
+        import random
+
+        spec = consensus_game(4)
+        rec = spec.mediator_fn((0,) * 4, random.Random(0))
+        assert len(set(rec)) == 1
+
+    def test_byzantine_agreement_majority(self):
+        import random
+
+        spec = byzantine_agreement_game(5)
+        rec = spec.mediator_fn((1, 1, 1, 0, 0), random.Random(0))
+        assert rec == (1,) * 5
+        rec = spec.mediator_fn((0, 0, 0, 1, 1), random.Random(0))
+        assert rec == (0,) * 5
+
+    def test_chicken_correlated_distribution(self):
+        import random
+
+        spec = chicken_game()
+        rng = random.Random(0)
+        seen = {spec.mediator_fn((0, 0), rng) for _ in range(100)}
+        assert seen == {("C", "C"), ("C", "D"), ("D", "C")}
+
+    def test_chicken_obedience_beats_defection(self):
+        """Given recommendation C, defecting to D is not profitable."""
+        spec = chicken_game()
+        u = spec.game.utility
+        # Conditional on "C": other is C w.p. 1/2, D w.p. 1/2.
+        follow = 0.5 * u((0, 0), ("C", "C"))[0] + 0.5 * u((0, 0), ("C", "D"))[0]
+        defect = 0.5 * u((0, 0), ("D", "C"))[0] + 0.5 * u((0, 0), ("D", "D"))[0]
+        assert follow >= defect
+
+    def test_shamir_secret_game_reconstruction(self):
+        import random
+
+        spec = shamir_secret_game(n=5, modulus=5, degree=2)
+        types = spec.game.type_space.profiles()[17]
+        rec = spec.mediator_fn(types, random.Random(0))
+        # Recommendation equals the true secret.
+        payoffs = spec.game.utility(types, rec)
+        assert all(p >= 1.0 for p in payoffs)
+
+    def test_shamir_secret_game_corrects_one_lie(self):
+        import random
+
+        spec = shamir_secret_game(n=5, modulus=5, degree=2)
+        types = spec.game.type_space.profiles()[42]
+        lied = list(types)
+        lied[2] = (lied[2] + 1) % 5
+        rec_honest = spec.mediator_fn(types, random.Random(0))
+        rec_lied = spec.mediator_fn(tuple(lied), random.Random(0))
+        assert rec_honest == rec_lied
+
+    def test_free_rider_pivotality(self):
+        spec = free_rider_game(4, sharers_needed=2)
+        u = spec.game.utility
+        # Two sharers meet the threshold; each sharer nets 1.0.
+        assert u((0,) * 4, ("share", "share", "ride", "ride")) == (1.0, 1.0, 2.0, 2.0)
+        # A sharer defecting breaks the threshold:
+        assert u((0,) * 4, ("ride", "share", "ride", "ride"))[0] == 0.0
+
+    def test_free_rider_punishment(self):
+        spec = free_rider_game(4, sharers_needed=2)
+        # Equilibrium payoff: benefit 2 minus expected duty cost m/n = 0.5.
+        report = check_punishment_strategy(
+            spec.game, spec.punishment, m=1, equilibrium_payoff=lambda i, x: 1.5
+        )
+        assert report.holds

@@ -1,0 +1,89 @@
+"""Tests for ε-variants of the ideal-mediator checkers and compiler edges."""
+
+import pytest
+
+from repro.errors import CompilationError, GameError
+from repro.games.library import consensus_game, section64_game
+from repro.mediator.ideal import (
+    check_ideal_k_resilience,
+    check_ideal_t_immunity,
+    enumerate_behaviors,
+    honest_payoffs,
+)
+
+
+class TestIdealEpsilonVariants:
+    def test_section64_k2_gain_is_exactly_point_one(self):
+        """The ⊥-coalition gains exactly 0.1 (1.1 over the b=0 payoff 1.0),
+        i.e. 0.05 in expectation over the coin — so ε above that threshold
+        certifies ε-resilience and ε below it does not."""
+        spec = section64_game(4, k=1)
+        report = check_ideal_k_resilience(spec, 2)
+        assert not report.holds
+        worst = max(v.gain for v in report.violations)
+        assert worst == pytest.approx(0.05, abs=1e-9)
+        assert check_ideal_k_resilience(spec, 2, epsilon=0.06).holds
+        assert not check_ideal_k_resilience(spec, 2, epsilon=0.04).holds
+
+    def test_epsilon_immunity_threshold(self):
+        spec = consensus_game(5)
+        # consensus is exactly immune; any epsilon > 0 also holds.
+        assert check_ideal_t_immunity(spec, 1).holds
+        assert check_ideal_t_immunity(spec, 1, epsilon=0.2).holds
+
+    def test_strong_vs_weak_resilience(self):
+        spec = section64_game(4, k=1)
+        # Strong 1-resilience: no single deviator gets any strict gain.
+        assert check_ideal_k_resilience(spec, 1, strong=True).holds
+
+    def test_behavior_enumeration_counts(self):
+        spec = consensus_game(4)
+        behaviors = enumerate_behaviors(spec, (0,), (0,), (0,), (0,))
+        # 1 report option x maps from rec in {0,1} to 2 actions = 4.
+        assert len(behaviors) == 4
+
+    def test_honest_payoffs_conditioned(self):
+        spec = consensus_game(4)
+        payoffs = honest_payoffs(spec, (0,), (0,))
+        assert payoffs[0] == pytest.approx(1.0)
+
+
+class TestCompilerEdgeCases:
+    def test_bad_epsilon_rejected(self):
+        from repro.cheaptalk import compile_theorem42
+
+        with pytest.raises(CompilationError):
+            compile_theorem42(consensus_game(7), 1, 1, epsilon=0.0)
+        with pytest.raises(CompilationError):
+            compile_theorem42(consensus_game(7), 1, 1, epsilon=1.5)
+
+    def test_theorem44_needs_punishment_spec(self):
+        from repro.cheaptalk import compile_theorem44
+
+        spec = consensus_game(8)
+        spec.punishment = None
+        with pytest.raises(CompilationError):
+            compile_theorem44(spec, 1, 1)
+
+    def test_unknown_approach_rejected(self):
+        from repro.cheaptalk import compile_theorem41
+
+        with pytest.raises(GameError):
+            compile_theorem41(consensus_game(9), 1, 1, approach="bogus")
+
+    def test_explicit_field_override(self):
+        from repro.cheaptalk import compile_theorem42
+        from repro.field import GF
+
+        proto = compile_theorem42(
+            consensus_game(7), 1, 1, epsilon=0.9, field=GF(257)
+        )
+        assert proto.game.field.p == 257
+
+    def test_rushing_scheduler_in_zoo_runs_protocols(self):
+        from repro.cheaptalk import compile_theorem41
+        from repro.sim import RushingScheduler
+
+        proto = compile_theorem41(consensus_game(9), 1, 1)
+        run = proto.game.run((0,) * 9, RushingScheduler([8]), seed=0)
+        assert len(set(run.actions)) == 1

@@ -1,0 +1,153 @@
+"""End-to-end integration stories across all layers.
+
+Each test walks a full pipeline the way a user of the library would:
+certify the ideal equilibrium, compile to cheap talk, run under a zoo of
+environments and adversaries, and verify the game-theoretic claims on the
+measured outcomes.
+"""
+
+import pytest
+
+from repro.analysis import (
+    DeviationTrial,
+    check_empirical_robustness,
+    check_implementation,
+)
+from repro.analysis.deviations import ct_crash, ct_misreport, misreport
+from repro.cheaptalk import compile_theorem41, compile_theorem42
+from repro.games import expected_utilities
+from repro.games.library import byzantine_agreement_game, consensus_game
+from repro.mediator import MediatorGame, check_ideal_mediator_robustness
+from repro.sim import FifoScheduler, RandomScheduler, scheduler_zoo
+
+
+class TestFullPipelineConsensus:
+    """certify -> compile -> implement -> attack, on the workhorse game."""
+
+    def test_story(self):
+        n, k, t = 9, 1, 1
+        spec = consensus_game(n)
+
+        # 1. The hypothesis of Theorem 4.1: the mediator equilibrium is
+        #    (k,t)-robust. Certified exactly on a scaled-down instance
+        #    (the checkers are exponential in n) ...
+        assert check_ideal_mediator_robustness(consensus_game(5), k, t).holds
+
+        # 2. ... compile to cheap talk at the paper's bound ...
+        proto = compile_theorem41(spec, k, t)
+
+        # 3. ... the compiled protocol implements the mediator game ...
+        mediator = MediatorGame(spec, k, t)
+        impl = check_implementation(
+            proto.game, mediator,
+            schedulers=[FifoScheduler(), RandomScheduler(1)],
+            samples_per_scheduler=10,
+        )
+        assert impl.holds, (impl.distance, impl.tolerance)
+
+        # 4. ... and the catalogued deviations do not pay.
+        trials = [
+            DeviationTrial("crash", {8: ct_crash()}, malicious=(8,)),
+            DeviationTrial(
+                "misreport", {8: ct_misreport(spec, 0)}, rational=(8,)
+            ),
+        ]
+        rob = check_empirical_robustness(
+            proto.game, trials, [FifoScheduler()], samples_per_scheduler=6
+        )
+        assert rob.holds, rob.findings
+
+
+class TestFullPipelineByzantineAgreement:
+    """Typed inputs flow through AVSS-free input agreement end to end."""
+
+    def test_majority_preserved_under_environments(self):
+        n, k, t = 9, 1, 1
+        spec = byzantine_agreement_game(n)
+        proto = compile_theorem41(spec, k, t)
+        types = (1, 1, 1, 1, 1, 1, 1, 0, 0)
+        for scheduler in scheduler_zoo(seed=0, parties=range(n))[:3]:
+            run = proto.game.run(types, scheduler, seed=4)
+            # A strong 7-vs-2 majority survives even if ACS drops up to
+            # k+t = 2 slow inputs.
+            assert run.actions == (1,) * n
+
+    def test_mediator_and_cheap_talk_agree_per_type_profile(self):
+        n = 9
+        spec = byzantine_agreement_game(n)
+        mediator = MediatorGame(spec, 1, 1)
+        proto = compile_theorem41(spec, 1, 1)
+        types = (1, 1, 1, 1, 1, 1, 1, 0, 0)
+        med = mediator.run(types, FifoScheduler(), seed=0)
+        ct = proto.game.run(types, FifoScheduler(), seed=0)
+        assert med.actions == ct.actions == (1,) * n
+
+    def test_misreport_shifts_both_worlds_equally(self):
+        """A liar about its input bit has the *same* effect in the mediator
+        game and in cheap talk — the implementation preserves deviations."""
+        n = 9
+        spec = byzantine_agreement_game(n)
+        types = (1, 1, 1, 1, 1, 0, 0, 0, 0)  # 5-4 majority of 1
+        mediator = MediatorGame(spec, 1, 1)
+        proto = compile_theorem41(spec, 1, 1)
+        med = mediator.run(
+            types, FifoScheduler(), seed=1,
+            deviations={0: misreport(spec, 0)},
+        )
+        ct = proto.game.run(
+            types, FifoScheduler(), seed=1,
+            deviations={0: ct_misreport(spec, 0)},
+        )
+        # Reported profile 4-5: majority flips to 0 in both worlds.
+        assert med.actions[1:] == (0,) * 8
+        assert ct.actions[1:] == (0,) * 8
+
+
+class TestUtilityVariants:
+    """Theorem 4.1's 'for all utility variants' clause: the compiled
+    strategy does not depend on utilities, so rescaling them changes
+    nothing about the outcome distribution."""
+
+    def test_outcomes_independent_of_utilities(self):
+        spec = consensus_game(9)
+        proto = compile_theorem41(spec, 1, 1)
+        run_a = proto.game.run((0,) * 9, FifoScheduler(), seed=5)
+
+        variant = consensus_game(9)
+        variant.game = variant.game.with_utility(
+            lambda ty, a: tuple(10 * u for u in spec.game.utility(ty, a))
+        )
+        proto_b = compile_theorem41(variant, 1, 1)
+        run_b = proto_b.game.run((0,) * 9, FifoScheduler(), seed=5)
+        assert run_a.actions == run_b.actions
+
+    def test_payoffs_scale_with_variant(self):
+        spec = consensus_game(5)
+        scaled = spec.game.with_utility(
+            lambda ty, a: tuple(3 * u for u in spec.game.utility(ty, a))
+        )
+        base = spec.game.utility((0,) * 5, (1, 1, 1, 1, 1))
+        new = scaled.utility((0,) * 5, (1, 1, 1, 1, 1))
+        assert new == tuple(3 * u for u in base)
+
+
+class TestCrossLayerAccounting:
+    def test_trace_messages_match_network_counter(self):
+        spec = consensus_game(9)
+        proto = compile_theorem41(spec, 1, 1)
+        run = proto.game.run((0,) * 9, FifoScheduler(), seed=0)
+        # network counter includes the n synthetic start signals, which are
+        # environment moves rather than traced protocol messages.
+        assert run.result.messages_sent == run.message_count() + 9
+        assert (
+            run.result.messages_delivered + run.result.messages_dropped
+            <= run.result.messages_sent
+        )
+
+    def test_deterministic_end_to_end(self):
+        spec = consensus_game(9)
+        proto = compile_theorem41(spec, 1, 1)
+        a = proto.game.run((0,) * 9, RandomScheduler(3), seed=9)
+        b = proto.game.run((0,) * 9, RandomScheduler(3), seed=9)
+        assert a.actions == b.actions
+        assert a.message_count() == b.message_count()

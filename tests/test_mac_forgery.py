@@ -1,0 +1,71 @@
+"""Statistical tests for the BKR engine's ε: MAC forgery probability.
+
+Theorem 4.2/4.5's ε comes, in our substrate, from the probability that a
+forged share passes a pairwise information-theoretic MAC check — 1/p per
+uniformly guessed tag (2/p in the compiler's conservative union bound).
+These tests measure that probability directly at the WireShare level: tiny
+fields leak, big fields don't, and the measured rate matches 1/p.
+"""
+
+import random
+
+from repro.field import GF, DEFAULT_PRIME
+from repro.mpc.engine import WireShare
+from repro.mpc.setup import TrustedSetup
+
+
+def forgery_attempts(prime: int, attempts: int, seed: int = 0) -> int:
+    """Count how many uniformly-forged (value, mac) pairs pass verification."""
+    field = GF(prime)
+    setup = TrustedSetup(field, list(range(4)), 1, seed=seed)
+    setup.deal_base(("rand", 0))
+    wire = WireShare.base(field, ("rand", 0))
+    verifier = setup.pack_for(3)
+    rng = random.Random(seed + 1)
+    passed = 0
+    for _ in range(attempts):
+        forged_value = field.random(rng)
+        forged_mac = field.random(rng)
+        if wire.verify_mac(0, forged_value, forged_mac, verifier):
+            passed += 1
+    return passed
+
+
+class TestForgeryProbability:
+    def test_small_field_leaks_at_rate_one_over_p(self):
+        attempts = 4000
+        passed = forgery_attempts(101, attempts)
+        rate = passed / attempts
+        # Expected 1/101 ~ 0.0099; allow 3 sigma of binomial noise.
+        assert 0.004 < rate < 0.017, rate
+
+    def test_large_field_never_leaks(self):
+        assert forgery_attempts(DEFAULT_PRIME, 4000) == 0
+
+    def test_rate_scales_inversely_with_p(self):
+        attempts = 6000
+        small = forgery_attempts(101, attempts, seed=5)
+        large = forgery_attempts(10007, attempts, seed=5)
+        assert small > 5 * max(large, 1)
+
+    def test_targeted_forgery_needs_alpha(self):
+        """Even knowing the true share, shifting it requires guessing the
+        verifier's key: acceptance of value+1 with mac+delta is a pure
+        guess of alpha."""
+        field = GF(101)
+        setup = TrustedSetup(field, list(range(4)), 1, seed=9)
+        setup.deal_base(("rand", 0))
+        wire = WireShare.base(field, ("rand", 0))
+        sender_pack = setup.pack_for(0)
+        verifier = setup.pack_for(3)
+        value = wire.my_value(sender_pack)
+        mac = wire.my_mac_for(3, sender_pack)
+        rng = random.Random(0)
+        passed = 0
+        attempts = 3000
+        for _ in range(attempts):
+            guess_alpha = field.random(rng)
+            forged_mac = mac + guess_alpha  # claims value + 1
+            if wire.verify_mac(0, value + field(1), forged_mac, verifier):
+                passed += 1
+        assert passed <= attempts // 20  # ~1/p, certainly far from reliable

@@ -1,0 +1,137 @@
+"""Edge-case tests for the canonical mediator protocol machinery."""
+
+import pytest
+
+from repro.errors import MediatorError
+from repro.games.library import byzantine_agreement_game, consensus_game
+from repro.mediator import FnMediator, MediatorGame
+from repro.mediator.protocol import HonestMediatorPlayer, mediator_pid
+from repro.sim import FifoScheduler, Runtime
+from repro.sim.process import FuncProcess
+
+from tests.helpers import ScriptedByzantine
+
+
+class TestFnMediatorValidation:
+    def test_zero_rounds_rejected(self):
+        with pytest.raises(MediatorError):
+            FnMediator(consensus_game(4), 1, 0, rounds=0)
+
+    def test_degenerate_quorum_rejected(self):
+        with pytest.raises(MediatorError):
+            FnMediator(consensus_game(4), 2, 2)  # quorum 0
+
+    def test_duplicate_reports_ignored(self):
+        """A player spamming round-0 reports counts once toward quorum."""
+        spec = byzantine_agreement_game(5)
+        game = MediatorGame(spec, k=0, t=1)
+        med = mediator_pid(5)
+
+        def spam(ctx, sender, payload):
+            if sender is None:
+                for _ in range(10):
+                    ctx.send(med, ("report", 0, 1))
+
+        run = game.run(
+            (0, 0, 0, 0, 1), FifoScheduler(), seed=0,
+            deviations={4: lambda pid, ty: ScriptedByzantine(spam)},
+        )
+        # Quorum is n-k-t = 4: the mediator still needed 4 distinct
+        # reporters; majority of (0,0,0,0,1) is 0.
+        assert run.actions[:4] == (0,) * 4
+
+    def test_invalid_type_report_rejected(self):
+        """A report outside the player's type space is invalid; the
+        mediator defaults that player instead."""
+        spec = byzantine_agreement_game(5)
+        game = MediatorGame(spec, k=0, t=1)
+        med = mediator_pid(5)
+
+        def junk(ctx, sender, payload):
+            if sender is None:
+                ctx.send(med, ("report", 0, "not-a-bit"))
+
+        run = game.run(
+            (1, 1, 0, 0, 1), FifoScheduler(), seed=0,
+            deviations={4: lambda pid, ty: ScriptedByzantine(junk)},
+        )
+        # Player 4's junk replaced by default type 0: reported profile
+        # (1,1,0,0,0) -> majority 0.
+        assert run.actions[:4] == (0,) * 4
+
+    def test_inconsistent_cross_round_reports_invalid(self):
+        """Canonical form requires the same type every round; flip-flopping
+        makes the report set invalid and the player is defaulted."""
+        spec = byzantine_agreement_game(5)
+        game = MediatorGame(spec, k=0, t=1, rounds=2)
+        med = mediator_pid(5)
+
+        class FlipFlop(HonestMediatorPlayer):
+            def on_message(self, ctx, sender, payload):
+                if (
+                    sender == med
+                    and isinstance(payload, tuple)
+                    and payload[0] == "round"
+                ):
+                    ctx.send(med, ("report", payload[1], 0))  # flip to 0
+                    return
+                super().on_message(ctx, sender, payload)
+
+        run = game.run(
+            (1, 1, 1, 0, 0), FifoScheduler(), seed=0,
+            deviations={0: lambda pid, ty: FlipFlop(spec, pid, 1)},
+        )
+        # Player 0 reported 1 then 0: invalid; default 0 applies ->
+        # reported (0,1,1,0,0) -> majority 0.
+        assert run.actions[1:] == (0,) * 4
+
+    def test_malformed_messages_ignored(self):
+        spec = consensus_game(4)
+        game = MediatorGame(spec, k=1, t=0)
+        med = mediator_pid(4)
+
+        def garbage(ctx, sender, payload):
+            if sender is None:
+                ctx.send(med, "not-a-tuple")
+                ctx.send(med, ("report",))
+                ctx.send(med, ("report", 99, 0))
+                ctx.send(med, ("report", 0, 0))  # finally a valid one
+
+        run = game.run(
+            (0,) * 4, FifoScheduler(), seed=0,
+            deviations={3: lambda pid, ty: ScriptedByzantine(garbage)},
+        )
+        assert len(set(run.actions[:3])) == 1
+
+    def test_mediator_ignores_messages_after_stop(self):
+        spec = consensus_game(4)
+        mediator = FnMediator(spec, 1, 0)
+        game = MediatorGame(spec, 1, 0, mediator_factory=lambda: mediator)
+        run = game.run((0,) * 4, FifoScheduler(), seed=0)
+        assert mediator.stopped
+        assert len(set(run.actions)) == 1
+
+
+class TestHonestPlayer:
+    def test_ignores_non_mediator_chatter(self):
+        spec = consensus_game(4)
+        game = MediatorGame(spec, k=1, t=0)
+
+        def whisper(ctx, sender, payload):
+            if sender is None:
+                for pid in range(3):
+                    ctx.send(pid, ("stop", 1))  # forged stop from a player
+
+        run = game.run(
+            (0,) * 4, FifoScheduler(), seed=0,
+            deviations={3: lambda pid, ty: ScriptedByzantine(whisper)},
+        )
+        # Honest players moved only on the real mediator's stop: common bit.
+        assert len(set(run.actions[:3])) == 1
+
+    def test_will_is_consulted_only_without_output(self):
+        spec = consensus_game(4)
+        player = HonestMediatorPlayer(spec, 0, 0, will=lambda p, t: 1)
+        assert player.on_deadlock(0) == 1
+        no_will = HonestMediatorPlayer(spec, 0, 0)
+        assert no_will.on_deadlock(0) is None

@@ -1,0 +1,108 @@
+"""Property-based protocol tests: invariants over random schedules/seeds.
+
+Hypothesis drives the *environment* here: random scheduler seeds and
+delivery disciplines explore the asynchronous interleaving space, and the
+protocol invariants (agreement, validity, totality, correctness of shared
+computation) must hold on every explored path.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.broadcast.aba import aba_sid
+from repro.broadcast.rbc import rbc_sid
+from repro.circuits import Circuit
+from repro.field import GF, DEFAULT_PRIME
+from repro.sim import BatchRandomScheduler, RandomScheduler
+
+from tests.helpers import results_for, run_hosts
+from tests.test_mpc import run_engine
+
+F = GF(DEFAULT_PRIME)
+
+seeds = st.integers(0, 10_000)
+fast = settings(
+    max_examples=12, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestRbcProperties:
+    @given(seeds, seeds)
+    @fast
+    def test_agreement_and_validity_under_random_schedules(self, sseed, rseed):
+        sid = rbc_sid(0, "x")
+
+        def kick(host):
+            if host.me == 0:
+                host.open_session(sid).input(("payload", 42))
+
+        hosts, _ = run_hosts(
+            4, 1, on_ready=kick, scheduler=RandomScheduler(sseed), seed=rseed
+        )
+        delivered = results_for(hosts, sid)
+        assert set(delivered.values()) == {("payload", 42)}
+        assert set(delivered) == {0, 1, 2, 3}
+
+
+class TestAbaProperties:
+    @given(seeds, st.lists(st.integers(0, 1), min_size=4, max_size=4))
+    @fast
+    def test_agreement_and_validity(self, seed, inputs):
+        sid = aba_sid("v")
+
+        def kick(host):
+            host.open_session(sid).propose(inputs[host.me])
+
+        hosts, _ = run_hosts(
+            4, 1, on_ready=kick, scheduler=BatchRandomScheduler(seed),
+            seed=seed,
+        )
+        decisions = results_for(hosts, sid)
+        assert len(decisions) == 4
+        values = set(decisions.values())
+        assert len(values) == 1
+        (decided,) = values
+        assert decided in set(inputs)  # validity: some party proposed it
+
+
+class TestEngineProperties:
+    @given(seeds, st.lists(st.integers(0, 1), min_size=5, max_size=5))
+    @fast
+    def test_sum_circuit_correct_modulo_input_agreement(self, seed, inputs):
+        circuit = Circuit(F, "sum")
+        ins = [circuit.input(p) for p in range(5)]
+        circuit.output(circuit.sum_many(ins), 0, "sum")
+        outputs, _, _, engines = run_engine(
+            5, 1, circuit, dict(enumerate(inputs)),
+            scheduler=RandomScheduler(seed), seed=seed,
+        )
+        agreed = engines[0].agreed_inputs
+        assert agreed is not None
+        assert len(agreed) >= 4
+        expected = sum(inputs[p] for p in agreed if p < 5)
+        assert outputs[0]["sum"] == expected
+
+    @given(seeds)
+    @fast
+    def test_product_circuit_deterministic_per_seed(self, seed):
+        circuit = Circuit(F, "prod")
+        a, b = circuit.input(0), circuit.input(1)
+        circuit.output(circuit.mul(a, b), 0, "p")
+        first, _, _, _ = run_engine(5, 1, circuit, {0: 1, 1: 1}, seed=seed)
+        second, _, _, _ = run_engine(5, 1, circuit, {0: 1, 1: 1}, seed=seed)
+        assert first[0] == second[0]
+
+
+class TestEglProperties:
+    @given(seeds)
+    @fast
+    def test_both_parties_decode_the_same_cell(self, seed):
+        from repro.baselines import run_egl
+        from repro.games.library import chicken_game
+
+        spec = chicken_game()
+        actions, messages = run_egl(spec, epsilon=0.3, seed=seed)
+        assert actions in set(spec.mediator_dist((0, 0)))
+        assert messages >= 2
+        assert messages % 2 == 0  # one exchange per round

@@ -1,0 +1,125 @@
+"""Contract tests for the scheduler zoo."""
+
+import pytest
+
+from repro.sim import (
+    BatchRandomScheduler,
+    EagerScheduler,
+    FifoScheduler,
+    LaggardScheduler,
+    RandomScheduler,
+    RelaxedScheduler,
+    scheduler_zoo,
+)
+from repro.sim.network import MessageView
+
+
+def mk(uid, sender=0, recipient=1, batch=0):
+    return MessageView(uid=uid, sender=sender, recipient=recipient,
+                       send_step=0, batch=batch)
+
+
+class TestChooseContracts:
+    @pytest.mark.parametrize(
+        "scheduler",
+        [FifoScheduler(), RandomScheduler(0), EagerScheduler(),
+         BatchRandomScheduler(0), LaggardScheduler([1])],
+        ids=lambda s: s.name,
+    )
+    def test_empty_pool_returns_none(self, scheduler):
+        scheduler.reset(0)
+        assert scheduler.choose([], 0) is None
+
+    @pytest.mark.parametrize(
+        "scheduler",
+        [FifoScheduler(), RandomScheduler(0), EagerScheduler(),
+         BatchRandomScheduler(0), LaggardScheduler([1])],
+        ids=lambda s: s.name,
+    )
+    def test_always_picks_an_existing_uid(self, scheduler):
+        scheduler.reset(0)
+        pool = [mk(3), mk(7, recipient=2), mk(9, sender=1)]
+        for step in range(10):
+            uid = scheduler.choose(pool, step)
+            assert uid in {3, 7, 9}
+
+    def test_fifo_order(self):
+        sched = FifoScheduler()
+        assert sched.choose([mk(5), mk(2), mk(9)], 0) == 2
+
+    def test_random_deterministic_per_reset(self):
+        a = RandomScheduler(3)
+        a.reset(11)
+        pool = [mk(i) for i in range(10)]
+        seq_a = [a.choose(pool, s) for s in range(5)]
+        a.reset(11)
+        seq_b = [a.choose(pool, s) for s in range(5)]
+        assert seq_a == seq_b
+
+    def test_eager_drains_one_recipient(self):
+        sched = EagerScheduler()
+        sched.reset(0)
+        pool = [mk(1, recipient=1), mk(2, recipient=2), mk(3, recipient=1)]
+        first = sched.choose(pool, 0)
+        assert first == 1  # lowest recipient chosen, lowest uid within it
+        pool2 = [mk(2, recipient=2), mk(3, recipient=1)]
+        assert sched.choose(pool2, 1) == 3  # stays on recipient 1
+
+    def test_laggard_defers_victims(self):
+        sched = LaggardScheduler([2])
+        pool = [mk(1, recipient=2), mk(5, recipient=1)]
+        assert sched.choose(pool, 0) == 5
+        only_victim = [mk(1, recipient=2)]
+        assert sched.choose(only_victim, 0) == 1  # must deliver eventually
+
+    def test_laggard_senders_mode(self):
+        sched = LaggardScheduler([2], lag_senders=True)
+        pool = [mk(1, sender=2, recipient=0), mk(5, sender=0, recipient=1)]
+        assert sched.choose(pool, 0) == 5
+
+    def test_batch_random_finishes_batches(self):
+        sched = BatchRandomScheduler(0)
+        sched.reset(0)
+        pool = [mk(1, batch=10), mk(2, batch=10), mk(3, batch=20)]
+        first = sched.choose(pool, 0)
+        batch = 10 if first in (1, 2) else 20
+        rest = [m for m in pool if m.uid != first]
+        second = sched.choose(rest, 1)
+        same_batch_left = [m for m in rest if m.batch == batch]
+        if same_batch_left:
+            assert second == min(m.uid for m in same_batch_left)
+
+
+class TestRelaxed:
+    def test_counts_deliveries(self):
+        sched = RelaxedScheduler(FifoScheduler(), deliveries_before_stop=2)
+        sched.reset(0)
+        pool = [mk(i) for i in range(5)]
+        assert sched.choose(pool, 0) == 0
+        assert sched.choose(pool, 1) == 0
+        assert sched.choose(pool, 2) is None
+
+    def test_reset_restores_budget(self):
+        sched = RelaxedScheduler(FifoScheduler(), deliveries_before_stop=1)
+        sched.reset(0)
+        assert sched.choose([mk(1)], 0) == 1
+        assert sched.choose([mk(2)], 1) is None
+        sched.reset(1)
+        assert sched.choose([mk(3)], 0) == 3
+
+    def test_is_relaxed_flags(self):
+        assert RelaxedScheduler(FifoScheduler(), 1).is_relaxed()
+        assert not FifoScheduler().is_relaxed()
+
+
+class TestZoo:
+    def test_zoo_contains_variety(self):
+        zoo = scheduler_zoo(seed=0, parties=range(6))
+        names = {s.name for s in zoo}
+        assert "fifo" in names
+        assert any(name.startswith("laggard") for name in names)
+        assert len(zoo) >= 7
+
+    def test_zoo_without_parties(self):
+        zoo = scheduler_zoo(seed=0)
+        assert all(not s.name.startswith("laggard") for s in zoo)

@@ -1,6 +1,6 @@
 """E5 — Section 6.4 counterexample: leaky mediator broken, minimal fixed.
 
-Claims regenerated:
+Claims regenerated (through the declarative experiment API):
 * against the leaky mediator (which sends a + b·i), the odd-difference
   coalition converts every b=0 run into the 1.1 punishment outcome —
   outcome set {1.1, 2.0}, pointwise dominating honest play's {1.0, 2.0};
@@ -12,34 +12,30 @@ from statistics import mean
 
 from conftest import report
 
-from repro.analysis.section64 import run_attack
-from repro.games.library import BOT, section64_game
-from repro.mediator import LeakySection64Mediator, MediatorGame, minimally_informative
-from repro.sim import FifoScheduler
+from repro.experiments import ExperimentRunner, get_scenario
 
 
-def make_leaky(n=7, k=2):
-    spec = section64_game(n, k=k)
-    return MediatorGame(
-        spec, k, 0, approach="ah",
-        will=lambda pid, ty: BOT,
-        mediator_factory=lambda: LeakySection64Mediator(spec, k, 0),
-    )
+def _coalition_payoffs(result):
+    # Player 0 is always a coalition member in the registered scenarios.
+    return [record.payoffs[0] for record in result.records]
 
 
 def test_section64_attack(benchmark):
     rows = []
-    leaky = make_leaky()
+    runner = ExperimentRunner()
 
-    attacked = run_attack(leaky, (0, 1), runs=40)
+    attack = runner.run(get_scenario("sec64-leak-attack").replace(seed_count=40))
+    attacked = _coalition_payoffs(attack)
     rows.append(
         f"leaky mediator under attack:   outcomes={sorted(set(attacked))} "
         f"mean={mean(attacked):.3f}  (equilibrium 1.5 broken: 1.0 -> 1.1)"
     )
     assert set(attacked) == {1.1, 2.0}
 
-    minimal = minimally_informative(leaky, rounds=2)
-    defended = run_attack(minimal, (0, 1), runs=40)
+    defense = runner.run(
+        get_scenario("sec64-minimal-defense").replace(seed_count=40)
+    )
+    defended = _coalition_payoffs(defense)
     rows.append(
         f"minimal mediator under attack: outcomes={sorted(set(defended))} "
         f"mean={mean(defended):.3f}  (no leak, no conditioning, no profit)"
@@ -47,4 +43,5 @@ def test_section64_attack(benchmark):
     assert 1.1 not in defended
 
     report("E5 Section 6.4 (leaky vs minimally-informative mediator)", rows)
-    benchmark(lambda: run_attack(leaky, (0, 1), runs=5))
+    bench_spec = get_scenario("sec64-leak-attack").replace(seed_count=5)
+    benchmark(lambda: runner.run(bench_spec))

@@ -1,6 +1,6 @@
 """E1 — Theorem 4.1: errorless cheap talk at n > 4k + 4t.
 
-Claims regenerated:
+Claims regenerated (through the declarative experiment API):
 * the compiled protocol implements the mediator (common coordinated action,
   outcome distribution matching the mediator's);
 * it tolerates k + t arbitrary deviators (crash / wrong shares);
@@ -9,37 +9,43 @@ Claims regenerated:
 
 from conftest import report
 
-from repro.analysis.deviations import ct_crash, ct_lying_shares
-from repro.cheaptalk import compile_theorem41
-from repro.games.library import consensus_game
-from repro.sim import FifoScheduler
+from repro.experiments import ExperimentRunner, get_scenario
 
 
 def test_theorem41_honest_and_faulty(benchmark):
+    runner = ExperimentRunner()
     rows = []
-    for n in (9, 11, 13):
-        spec = consensus_game(n)
-        proto = compile_theorem41(spec, 1, 1)
-        run = proto.game.run((0,) * n, FifoScheduler(), seed=1)
-        agreed = len(set(run.actions)) == 1
-        rows.append(
-            f"n={n:>2} k=1 t=1 honest: agreed={agreed} "
-            f"messages={run.message_count():>5} circuit={proto.circuit_size}"
-        )
-        assert agreed
-
-    spec = consensus_game(9)
-    proto = compile_theorem41(spec, 1, 1)
-    faulty = proto.game.run(
-        (0,) * 9, FifoScheduler(), seed=2,
-        deviations={7: ct_crash(), 8: ct_lying_shares(spec)},
+    base = get_scenario("thm41-honest").replace(
+        schedulers=("fifo",), seed_count=1
     )
-    honest_agreed = len(set(faulty.actions[:7])) == 1
+    for n in (9, 11, 13):
+        result = runner.run(base.replace(n=n))
+        record = result.records[0]
+        assert record.agreed, record
+        rows.append(
+            f"n={n:>2} k=1 t=1 honest: agreed={record.agreed} "
+            f"messages={record.messages_sent:>5}"
+        )
+
+    faulty = runner.run(
+        get_scenario("thm41-crash-liar").replace(
+            schedulers=("fifo",), deviations=("crash+liar",), seed_count=1
+        )
+    )
+    record = faulty.records[0]
+    # Deviators are the last two players; the honest 7 must still agree.
+    honest_agreed = len(set(record.actions[:7])) == 1
     rows.append(
         f"n= 9 with crash+liar (k+t=2 deviators): honest agreed={honest_agreed}"
     )
     assert honest_agreed
     report("E1 Theorem 4.1 (n > 4k+4t, errorless)", rows)
 
-    proto9 = compile_theorem41(consensus_game(9), 1, 1)
+    # Benchmark the run only (precompiled protocol), matching the other
+    # benchmarks' run-only timing.
+    from repro.cheaptalk import compile_theorem41
+    from repro.games.registry import make_game
+    from repro.sim import FifoScheduler
+
+    proto9 = compile_theorem41(make_game("consensus", 9), 1, 1)
     benchmark(lambda: proto9.game.run((0,) * 9, FifoScheduler(), seed=3))

@@ -3,7 +3,8 @@
 The paper's headline finding is that asynchrony costs an extra k + t in
 the resilience bound: the synchronous cheap-talk result R1 needs only
 n > 3k + 3t, while the asynchronous Theorem 4.1 needs n > 4k + 4t. This
-example makes the gap concrete: at n = 7 (k = t = 1) the synchronous
+example makes the gap concrete with the two registered
+``cost-asynchrony-*`` scenarios: at n = 7 (k = t = 1) the synchronous
 implementation works while the asynchronous compiler provably refuses,
 and at n = 9 both work but asynchrony pays a large message premium for
 earning broadcast and agreement (RBC/ABA/ACS) instead of assuming them.
@@ -12,35 +13,34 @@ Run:  python examples/cost_of_asynchrony.py
 """
 
 from repro.cheaptalk import compile_theorem41
-from repro.cheaptalk.sync import compile_r1
 from repro.errors import CompilationError
-from repro.games.library import consensus_game
-from repro.sim import FifoScheduler
+from repro.experiments import run_scenario
+from repro.games.registry import make_game
 
 
 def main() -> None:
     k = t = 1
 
     print("== n = 7: between the bounds (3k+3t < n <= 4k+4t) ==")
-    sync = compile_r1(consensus_game(7), k, t)
-    actions, result = sync.run((0,) * 7, seed=1)
-    print(f"synchronous R1:  actions={actions} "
-          f"({result.rounds} rounds, {result.messages_sent} messages)")
+    sync7 = run_scenario("r1-baseline")
+    rec = sync7.records[0]
+    print(f"synchronous R1:  actions={rec.actions} "
+          f"({rec.steps} rounds, {rec.messages_sent} messages)")
     try:
-        compile_theorem41(consensus_game(7), k, t)
+        compile_theorem41(make_game("consensus", 7), k, t)
     except CompilationError as exc:
         print(f"async Thm 4.1:   REFUSED — {exc}")
 
     print("\n== n = 9: both feasible — the message premium ==")
-    sync9 = compile_r1(consensus_game(9), k, t)
-    s_actions, s_result = sync9.run((0,) * 9, seed=2)
-    proto = compile_theorem41(consensus_game(9), k, t)
-    a_run = proto.game.run((0,) * 9, FifoScheduler(), seed=2)
-    print(f"synchronous R1:  actions={s_actions} "
-          f"messages={s_result.messages_sent}")
-    print(f"async Thm 4.1:   actions={a_run.actions} "
-          f"messages={a_run.message_count()}")
-    premium = a_run.message_count() / max(s_result.messages_sent, 1)
+    sync9 = run_scenario("cost-asynchrony-sync")
+    async9 = run_scenario("cost-asynchrony-async")
+    s_msgs = sync9.message_stats()["mean"]
+    a_msgs = async9.message_stats()["mean"]
+    print(f"synchronous R1:  actions={sync9.records[0].actions} "
+          f"messages={s_msgs:.0f}")
+    print(f"async Thm 4.1:   actions={async9.records[0].actions} "
+          f"messages={a_msgs:.0f}")
+    premium = a_msgs / max(s_msgs, 1)
     print(f"\nasynchrony premium at n=9: x{premium:.0f} messages "
           f"(reliable broadcast, binary agreement, and common-subset\n"
           f"machinery replacing the synchronous model's free broadcast).")

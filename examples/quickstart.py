@@ -1,46 +1,61 @@
-"""Quickstart: implement a mediator with asynchronous cheap talk.
+"""Quickstart: the declarative experiment API in 30 seconds.
 
 We take the consensus coordination game — players are paid for matching
 the majority action, and a trusted mediator would fix the symmetry by
 recommending a common random bit — and replace the mediator with the
 paper's Theorem 4.1 cheap-talk protocol (n > 4k + 4t, errorless).
 
+Everything is one ScenarioSpec: name the game, the theorem, (k, t), the
+environments, and the seed grid; the ExperimentRunner does the rest.
+
 Run:  python examples/quickstart.py
 """
 
-from repro.cheaptalk import compile_theorem41
-from repro.games.library import consensus_game
-from repro.mediator import MediatorGame
-from repro.sim import scheduler_zoo
+from repro.analysis.reporting import format_table
+from repro.experiments import (
+    ExperimentResult,
+    ExperimentRunner,
+    ScenarioSpec,
+    get_scenario,
+)
 
 
 def main() -> None:
-    n, k, t = 9, 1, 1
-    spec = consensus_game(n)
+    # --- a registered canonical scenario, trimmed for a quick demo -------
+    spec = get_scenario("thm41-honest").replace(
+        schedulers=("fifo", "random"), seed_count=1
+    )
+    print(f"Scenario: {spec.name} — {spec.description}")
+    print(f"Game: {spec.game}(n={spec.n}), theorem {spec.theorem}, "
+          f"robustness target ({spec.k},{spec.t}), "
+          f"{spec.grid_size()} runs\n")
 
-    print(f"Game: {spec.name} — {spec.notes}")
-    print(f"Robustness target: ({k},{t})-robust, n = {n} > 4k+4t = {4*k+4*t}")
+    result = ExperimentRunner().run(spec)
+    print(format_table(ExperimentResult.SUMMARY_HEADERS,
+                       result.summary_rows()))
+    agg = result.aggregate()
+    print(f"\nagreement rate: {agg['agreement_rate']:.2f}  "
+          f"mean messages: {agg['messages']['mean']:.0f}  "
+          f"mean payoff: {agg['payoff']['mean']:.3f}")
 
-    # --- the mediator game (the ideal world) -----------------------------
-    mediator = MediatorGame(spec, k, t)
-    med_run = mediator.run((0,) * n, scheduler_zoo(seed=1)[0], seed=7)
-    print(f"\nWith the trusted mediator: actions = {med_run.actions}")
-    print(f"  messages used: {med_run.message_count()}")
-
-    # --- the cheap-talk implementation (no mediator) ---------------------
-    protocol = compile_theorem41(spec, k, t)
-    print(f"\nCompiled: {protocol.describe()}")
-
-    for scheduler in scheduler_zoo(seed=3, parties=range(n))[:4]:
-        run = protocol.game.run((0,) * n, scheduler, seed=11)
-        agreed = len(set(run.actions)) == 1
-        print(
-            f"  scheduler {scheduler.name:<14} actions={run.actions} "
-            f"agreed={agreed} messages={run.message_count()}"
-        )
-
-    payoff = spec.game.utility((0,) * n, run.actions)
-    print(f"\nPayoffs under the last run: {payoff}")
+    # --- the same API handles the ideal world for comparison --------------
+    ideal = ScenarioSpec(
+        name="quickstart-mediator",
+        game="consensus",
+        n=spec.n,
+        theorem="mediator",
+        k=spec.k,
+        t=spec.t,
+        schedulers=("fifo", "random"),
+        seed_count=1,
+        description="The trusted-mediator baseline the cheap talk implements.",
+    )
+    ideal_result = ExperimentRunner().run(ideal)
+    premium = (agg["messages"]["mean"]
+               / max(ideal_result.aggregate()["messages"]["mean"], 1))
+    print(f"\nWith the trusted mediator: "
+          f"{ideal_result.aggregate()['messages']['mean']:.0f} messages/run;"
+          f" the cheap talk pays x{premium:.0f} messages to replace it.")
     print("Every environment yields a coordinated profile — the cheap talk")
     print("implements the mediator without any trusted party.")
 

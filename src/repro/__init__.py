@@ -51,8 +51,34 @@ __all__ = [
     "compile_r1",
     "MediatorGame",
     "CheapTalkGame",
+    "Runtime",
+    "RunResult",
+    "Scheduler",
     "scheduler_zoo",
+    "make_game",
+    "register_game",
+    "ScenarioSpec",
+    "RunRecord",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "run_scenario",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
 ]
+
+_SIM_EXPORTS = ("Runtime", "RunResult", "Scheduler", "scheduler_zoo")
+_GAME_REGISTRY_EXPORTS = ("make_game", "register_game")
+_EXPERIMENT_EXPORTS = (
+    "ScenarioSpec",
+    "RunRecord",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "run_scenario",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+)
 
 
 def __getattr__(name):
@@ -78,8 +104,16 @@ def __getattr__(name):
         from repro.mediator import MediatorGame
 
         return MediatorGame
-    if name == "scheduler_zoo":
-        from repro.sim import scheduler_zoo
+    if name in _SIM_EXPORTS:
+        from repro import sim
 
-        return scheduler_zoo
+        return getattr(sim, name)
+    if name in _GAME_REGISTRY_EXPORTS:
+        from repro.games import registry
+
+        return getattr(registry, name)
+    if name in _EXPERIMENT_EXPORTS:
+        from repro import experiments
+
+        return getattr(experiments, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

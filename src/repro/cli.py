@@ -2,6 +2,10 @@
 
 Commands:
 
+* ``run`` — run one registered scenario and print per-run rows + aggregate;
+* ``sweep`` — run one or more scenario grids (optionally in parallel) and
+  print aggregate tables (or JSON with ``--json``);
+* ``scenarios`` — list the scenario registry;
 * ``demo`` — run the quickstart pipeline (mediator vs cheap talk) on a
   chosen library game;
 * ``games`` — list the game library with its certified properties;
@@ -13,54 +17,31 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from statistics import mean
 
 from repro.analysis.reporting import format_run, format_solution_report, format_table
-from repro.games.library import (
-    BOT,
-    byzantine_agreement_game,
-    chicken_game,
-    consensus_game,
-    free_rider_game,
-    section64_game,
-    shamir_secret_game,
-)
-from repro.games.library_extra import (
-    battle_of_sexes,
-    minority_game,
-    public_goods_game,
-    volunteer_game,
-)
+from repro.errors import ExperimentError, GameError
+from repro.games.library import BOT, section64_game
+from repro.games.registry import GAME_REGISTRY, iter_games, make_game
 
-GAMES = {
-    "consensus": lambda n: consensus_game(n),
-    "byz-agreement": lambda n: byzantine_agreement_game(n),
-    "section64": lambda n: section64_game(n, k=max(1, (n - 1) // 3)),
-    "chicken": lambda n: chicken_game(),
-    "free-rider": lambda n: free_rider_game(n),
-    "shamir-secret": lambda n: shamir_secret_game(),
-    "volunteer": lambda n: volunteer_game(n),
-    "battle-of-sexes": lambda n: battle_of_sexes(),
-    "public-goods": lambda n: public_goods_game(
-        max(n, 4), max(2, n // 3), pot=1.5 * max(n, 4), cost=1.0
-    ),
-    "minority": lambda n: minority_game(n if n % 2 else n + 1),
-}
+# Back-compat alias: the game registry used to live here as a private dict.
+GAMES = GAME_REGISTRY
 
 THEOREMS = {"4.1", "4.2", "4.4", "4.5", "r1"}
 
 
 def _spec(args):
-    maker = GAMES.get(args.game)
-    if maker is None:
-        sys.exit(f"unknown game {args.game!r}; try: {', '.join(sorted(GAMES))}")
-    return maker(args.n)
+    try:
+        return make_game(args.game, args.n)
+    except GameError as exc:
+        sys.exit(str(exc))
 
 
 def cmd_games(args) -> None:
     rows = []
-    for name, maker in sorted(GAMES.items()):
+    for name, maker in iter_games():
         try:
             spec = maker(args.n)
         except Exception as exc:  # some games pin their own n
@@ -68,6 +49,114 @@ def cmd_games(args) -> None:
             continue
         rows.append((name, spec.game.n, spec.notes))
     print(format_table(["game", "n", "notes"], rows))
+
+
+def cmd_scenarios(args) -> None:
+    from repro.experiments import iter_scenarios
+
+    rows = [
+        (
+            spec.name,
+            spec.game,
+            spec.theorem,
+            spec.n,
+            f"({spec.k},{spec.t})",
+            spec.grid_size(),
+            spec.description,
+        )
+        for spec in iter_scenarios()
+    ]
+    print(format_table(
+        ["scenario", "game", "theorem", "n", "(k,t)", "runs", "description"],
+        rows,
+    ))
+
+
+def _resolve_scenarios(args):
+    from repro.experiments import get_scenario
+
+    specs = []
+    for name in args.scenarios:
+        try:
+            spec = get_scenario(name)
+            if args.seeds is not None:
+                spec = spec.replace(seed_count=args.seeds)
+        except ExperimentError as exc:
+            sys.exit(str(exc))
+        specs.append(spec)
+    return specs
+
+
+def _print_result(result, per_run: bool) -> None:
+    from repro.experiments import ExperimentResult
+
+    spec = result.spec
+    mode = "parallel" if result.parallel else "serial"
+    print(
+        f"\n== {spec.name} — {spec.game} via {spec.theorem} "
+        f"(n={spec.n}, k={spec.k}, t={spec.t}) "
+        f"[{len(result.records)} runs, {mode}, {result.elapsed_s:.1f}s] =="
+    )
+    if per_run:
+        rows = [
+            (
+                r.scheduler,
+                r.deviation,
+                r.seed,
+                "" if r.ok else (r.error or "?"),
+                r.actions if r.ok else "-",
+                f"{r.mean_payoff():.3f}" if r.ok else "-",
+                r.messages_sent,
+            )
+            for r in result.records
+        ]
+        print(format_table(
+            ["scheduler", "deviation", "seed", "error", "actions",
+             "payoff", "messages"],
+            rows,
+        ))
+        print()
+    print(format_table(ExperimentResult.SUMMARY_HEADERS, result.summary_rows()))
+    agg = result.aggregate()
+    print(
+        f"agreement={agg['agreement_rate']:.2f} "
+        f"messages(mean)={agg['messages']['mean']:.0f} "
+        f"steps(mean)={agg['steps']['mean']:.0f} "
+        f"payoff(mean)={agg['payoff']['mean']:.3f} "
+        f"errors={agg['errors']} timeouts={agg['timeouts']}"
+    )
+
+
+def _run_and_report(args, per_run: bool) -> None:
+    from repro.experiments import ExperimentRunner
+
+    specs = _resolve_scenarios(args)
+    try:
+        runner = ExperimentRunner(
+            parallel=args.parallel,
+            processes=args.processes,
+            timeout_s=args.timeout,
+        )
+        results = [runner.run(spec) for spec in specs]
+    except ExperimentError as exc:
+        sys.exit(str(exc))
+    if args.json:
+        if len(results) == 1:
+            print(results[0].to_json(indent=2))
+        else:
+            print(json.dumps([r.to_dict() for r in results], indent=2,
+                             sort_keys=True))
+        return
+    for result in results:
+        _print_result(result, per_run=per_run)
+
+
+def cmd_run(args) -> None:
+    _run_and_report(args, per_run=True)
+
+
+def cmd_sweep(args) -> None:
+    _run_and_report(args, per_run=False)
 
 
 def cmd_demo(args) -> None:
@@ -171,9 +260,33 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("-k", type=int, default=1)
         p.add_argument("-t", type=int, default=1)
 
+    def experiment_options(p):
+        p.add_argument("scenarios", nargs="+", metavar="scenario",
+                       help="registered scenario name(s); see `scenarios`")
+        p.add_argument("--parallel", action="store_true",
+                       help="fan runs out over a process pool")
+        p.add_argument("--processes", type=int, default=None)
+        p.add_argument("--timeout", type=float, default=None,
+                       help="per-run timeout in seconds")
+        p.add_argument("--seeds", type=int, default=None,
+                       help="override the scenario's seed count")
+        p.add_argument("--json", action="store_true",
+                       help="emit ExperimentResult JSON instead of tables")
+
     p_games = sub.add_parser("games", help="list the game library")
     p_games.add_argument("-n", type=int, default=9)
     p_games.set_defaults(func=cmd_games)
+
+    p_scen = sub.add_parser("scenarios", help="list the scenario registry")
+    p_scen.set_defaults(func=cmd_scenarios)
+
+    p_run = sub.add_parser("run", help="run one scenario with per-run rows")
+    experiment_options(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="run scenario grids (aggregates)")
+    experiment_options(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_demo = sub.add_parser("demo", help="mediator vs cheap talk")
     common(p_demo)

@@ -69,3 +69,12 @@ class MediatorError(ReproError):
 
 class CompilationError(ReproError):
     """Cheap-talk compilation failed (bounds not met, missing punishment)."""
+
+
+class ExperimentError(ReproError):
+    """Invalid experiment specification or registry lookup.
+
+    Raised by the ``repro.experiments`` layer for unknown scenarios,
+    schedulers, deviation profiles, malformed grids, and theorem/deviation
+    combinations that do not make sense together.
+    """

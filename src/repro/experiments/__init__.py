@@ -1,0 +1,68 @@
+"""The declarative experiment API — the one public way to run anything.
+
+Describe *what* to run as a frozen :class:`ScenarioSpec` (game, theorem,
+``(k, t)``, schedulers, deviation profiles, seed range); hand it — or the
+name of a registered canonical scenario — to an :class:`ExperimentRunner`;
+get back an :class:`ExperimentResult` of structured :class:`RunRecord`\\ s
+with aggregation and lossless JSON round-trip. The runner fans the grid
+out over ``multiprocessing`` when asked and falls back to (identical)
+serial execution otherwise.
+
+    >>> from repro.experiments import run_scenario
+    >>> result = run_scenario("thm41-honest", parallel=True)
+    >>> result.agreement_rate()
+    1.0
+"""
+
+from repro.experiments.spec import (
+    MEDIATOR_VARIANTS,
+    THEOREMS,
+    ScenarioSpec,
+)
+from repro.experiments.results import ExperimentResult, RunRecord
+from repro.experiments.registry import (
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
+)
+from repro.experiments.runner import (
+    ExperimentRunner,
+    RunTask,
+    execute_task,
+    expand_grid,
+    run_scenario,
+)
+from repro.experiments.schedulers import (
+    register_scheduler,
+    scheduler_from_name,
+    scheduler_names,
+)
+from repro.experiments.deviations import (
+    deviation_names,
+    deviation_profile,
+    register_deviation,
+)
+
+__all__ = [
+    "THEOREMS",
+    "MEDIATOR_VARIANTS",
+    "ScenarioSpec",
+    "RunRecord",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "RunTask",
+    "expand_grid",
+    "execute_task",
+    "run_scenario",
+    "get_scenario",
+    "iter_scenarios",
+    "register_scenario",
+    "scenario_names",
+    "scheduler_from_name",
+    "scheduler_names",
+    "register_scheduler",
+    "deviation_names",
+    "deviation_profile",
+    "register_deviation",
+]

@@ -1,0 +1,367 @@
+"""Grid expansion and the parallel experiment runner.
+
+:func:`expand_grid` turns a :class:`ScenarioSpec` into concrete
+:class:`RunTask` cells; :func:`execute_task` runs one cell from scratch
+(game construction through payoff computation) so that a task needs nothing
+but the picklable spec — which is what makes the ``multiprocessing``
+fan-out correct: every worker rebuilds the same deterministic objects from
+the same names and seeds, so parallel and serial sweeps produce identical
+records.
+
+Per-run timeouts use ``SIGALRM`` (available in workers and in the serial
+main thread on POSIX); a run that exceeds the budget yields a
+``timed_out`` record instead of poisoning the sweep. Any other exception
+is likewise captured into the record's ``error`` field.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.errors import ExperimentError
+from repro.experiments.deviations import MODE_FOR_THEOREM, deviation_profile
+from repro.experiments.results import ExperimentResult, RunRecord
+from repro.experiments.schedulers import scheduler_from_name
+from repro.experiments.spec import ScenarioSpec
+from repro.games.registry import make_game
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One cell of a scenario grid."""
+
+    scheduler: str
+    deviation: str
+    seed: int
+    index: int
+    profile_index: Optional[int] = None
+
+
+def expand_grid(spec: ScenarioSpec) -> tuple[RunTask, ...]:
+    """Expand a spec into its ordered run tasks."""
+    if spec.theorem == "raw-game":
+        if len(spec.schedulers) > 1 or tuple(spec.deviations) != ("honest",):
+            raise ExperimentError(
+                "raw-game scenarios evaluate the payoff matrix directly; "
+                "schedulers and deviations do not apply (leave the defaults)"
+            )
+        return tuple(
+            RunTask("none", "honest", spec.seed_start, i, profile_index=i)
+            for i in range(len(spec.action_profiles))
+        )
+    if spec.theorem == "r1":
+        if tuple(spec.deviations) != ("honest",):
+            raise ExperimentError(
+                "r1 scenarios support only the 'honest' deviation profile"
+            )
+        if len(spec.schedulers) > 1:
+            raise ExperimentError(
+                "r1 runs are synchronous (lock-step rounds); a scheduler "
+                "grid does not apply — leave the default single entry"
+            )
+        return tuple(
+            RunTask("sync", "honest", seed, i)
+            for i, seed in enumerate(spec.seeds)
+        )
+    tasks = []
+    index = 0
+    for scheduler in spec.schedulers:
+        for deviation in spec.deviations:
+            for seed in spec.seeds:
+                tasks.append(RunTask(scheduler, deviation, seed, index))
+                index += 1
+    return tuple(tasks)
+
+
+# -- per-run timeout ---------------------------------------------------------
+
+class _RunTimeout(Exception):
+    pass
+
+
+@contextmanager
+def _time_limit(seconds: Optional[float]):
+    requested = seconds is not None and seconds > 0
+    usable = (
+        requested
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        if requested:
+            warnings.warn(
+                "per-run timeout requested but SIGALRM is unavailable "
+                "(non-POSIX platform or non-main thread); running without "
+                "a time limit",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        yield
+        return
+
+    def _handler(signum, frame):
+        raise _RunTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _handler)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# -- single-cell execution ---------------------------------------------------
+
+def _compile_protocol(spec: ScenarioSpec, game_spec):
+    from repro.cheaptalk import (
+        compile_theorem41,
+        compile_theorem42,
+        compile_theorem44,
+        compile_theorem45,
+    )
+
+    if spec.theorem == "4.1":
+        return compile_theorem41(game_spec, spec.k, spec.t)
+    if spec.theorem == "4.2":
+        kwargs = {} if spec.epsilon is None else {"epsilon": spec.epsilon}
+        return compile_theorem42(game_spec, spec.k, spec.t, **kwargs)
+    if spec.theorem == "4.4":
+        return compile_theorem44(game_spec, spec.k, spec.t)
+    kwargs = {} if spec.epsilon is None else {"epsilon": spec.epsilon}
+    return compile_theorem45(game_spec, spec.k, spec.t, **kwargs)
+
+
+def _mediator_game(spec: ScenarioSpec, game_spec):
+    from repro.mediator import MediatorGame
+
+    if spec.mediator_variant == "standard":
+        return MediatorGame(game_spec, spec.k, spec.t)
+
+    from repro.games.library import BOT
+    from repro.mediator import LeakySection64Mediator, minimally_informative
+
+    leaky = MediatorGame(
+        game_spec,
+        spec.k,
+        spec.t,
+        approach="ah",
+        will=lambda pid, ty: BOT,
+        mediator_factory=lambda: LeakySection64Mediator(
+            game_spec, spec.k, spec.t
+        ),
+    )
+    if spec.mediator_variant == "leaky-sec64":
+        return leaky
+    return minimally_informative(leaky, rounds=2)
+
+
+def _execute(spec: ScenarioSpec, task: RunTask) -> RunRecord:
+    game_spec = make_game(spec.game, spec.n)
+    types = (
+        spec.type_profile
+        if spec.type_profile is not None
+        else tuple(game_spec.game.type_space.profiles()[0])
+    )
+    base = dict(
+        scenario=spec.name,
+        theorem=spec.theorem,
+        scheduler=task.scheduler,
+        deviation=task.deviation,
+        seed=task.seed,
+        types=tuple(types),
+    )
+
+    if spec.theorem == "raw-game":
+        actions = spec.action_profiles[task.profile_index]
+        payoffs = tuple(float(u) for u in game_spec.game.utility(types, actions))
+        return RunRecord(
+            actions=tuple(actions),
+            payoffs=payoffs,
+            agreed=len(set(actions)) == 1,
+            **base,
+        )
+
+    if spec.theorem == "r1":
+        from repro.cheaptalk.sync import compile_r1
+
+        sync = compile_r1(game_spec, spec.k, spec.t)
+        actions, result = sync.run(types, seed=task.seed)
+        payoffs = tuple(float(u) for u in game_spec.game.utility(types, actions))
+        return RunRecord(
+            actions=tuple(actions),
+            payoffs=payoffs,
+            agreed=len(set(actions)) == 1,
+            messages_sent=result.messages_sent,
+            messages_delivered=result.messages_sent,
+            steps=result.rounds,
+            **base,
+        )
+
+    mode = MODE_FOR_THEOREM[spec.theorem]
+    deviations = deviation_profile(task.deviation, game_spec, spec.k, spec.t, mode)
+    scheduler = scheduler_from_name(task.scheduler, spec.n)
+    run_kwargs = {}
+    if spec.step_limit is not None:
+        run_kwargs["step_limit"] = spec.step_limit
+
+    if spec.theorem == "mediator":
+        game = _mediator_game(spec, game_spec)
+    else:
+        game = _compile_protocol(spec, game_spec).game
+    run = game.run(
+        types, scheduler, seed=task.seed, deviations=deviations or None,
+        **run_kwargs,
+    )
+    payoffs = tuple(
+        float(u) for u in game_spec.game.utility(types, run.actions)
+    )
+    result = run.result
+    return RunRecord(
+        actions=tuple(run.actions),
+        payoffs=payoffs,
+        agreed=len(set(run.actions)) == 1,
+        messages_sent=result.messages_sent,
+        messages_delivered=result.messages_delivered,
+        messages_dropped=result.messages_dropped,
+        steps=result.steps,
+        deadlocked=result.deadlocked,
+        **base,
+    )
+
+
+def execute_task(
+    spec: ScenarioSpec, task: RunTask, timeout_s: Optional[float] = None
+) -> RunRecord:
+    """Run one grid cell, converting failures into error records."""
+    limit = timeout_s if timeout_s is not None else spec.timeout_s
+    start = time.perf_counter()
+    try:
+        with _time_limit(limit):
+            record = _execute(spec, task)
+    except _RunTimeout:
+        record = RunRecord(
+            scenario=spec.name,
+            theorem=spec.theorem,
+            scheduler=task.scheduler,
+            deviation=task.deviation,
+            seed=task.seed,
+            error=f"timed out after {limit}s",
+            timed_out=True,
+        )
+    except ExperimentError:
+        raise  # spec-level problems should fail the sweep loudly
+    except Exception as exc:  # noqa: BLE001 — capture per-run failures
+        record = RunRecord(
+            scenario=spec.name,
+            theorem=spec.theorem,
+            scheduler=task.scheduler,
+            deviation=task.deviation,
+            seed=task.seed,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    duration = time.perf_counter() - start
+    return RunRecord(**{**record.to_dict(), "duration_s": duration})
+
+
+def _pool_worker(payload) -> RunRecord:
+    spec, task, timeout_s = payload
+    return execute_task(spec, task, timeout_s=timeout_s)
+
+
+# -- the runner --------------------------------------------------------------
+
+class ExperimentRunner:
+    """Expand a scenario grid and run it, optionally over processes.
+
+    ``parallel=True`` fans the grid out over a ``multiprocessing`` pool
+    (the runs are pure Python and seed-deterministic, so this is an
+    embarrassingly parallel speedup); serial execution is both the
+    fallback and the reference semantics — the two produce identical
+    records for identical specs.
+    """
+
+    def __init__(
+        self,
+        parallel: bool = False,
+        processes: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+    ) -> None:
+        if processes is not None and processes < 1:
+            raise ExperimentError("processes must be >= 1")
+        self.parallel = parallel
+        self.processes = processes
+        self.timeout_s = timeout_s
+
+    def run(self, scenario: Union[str, ScenarioSpec]) -> ExperimentResult:
+        if isinstance(scenario, str):
+            from repro.experiments.registry import get_scenario
+
+            spec = get_scenario(scenario)
+        else:
+            spec = scenario
+        tasks = expand_grid(spec)
+        processes = self.processes
+        if processes is None:
+            processes = os.cpu_count() or 1
+            if self.parallel:
+                processes = max(2, processes)
+        use_parallel = self.parallel and len(tasks) > 1 and processes > 1
+        start = time.perf_counter()
+        if use_parallel:
+            try:
+                records = self._run_parallel(spec, tasks, processes)
+            except (OSError, PermissionError):
+                # Sandboxes without working process pools: fall back.
+                use_parallel = False
+                records = [
+                    execute_task(spec, task, self.timeout_s) for task in tasks
+                ]
+        else:
+            records = [
+                execute_task(spec, task, self.timeout_s) for task in tasks
+            ]
+        elapsed = time.perf_counter() - start
+        return ExperimentResult(
+            spec=spec,
+            records=tuple(records),
+            elapsed_s=elapsed,
+            parallel=use_parallel,
+        )
+
+    def sweep(
+        self, scenarios: Iterable[Union[str, ScenarioSpec]]
+    ) -> list[ExperimentResult]:
+        return [self.run(scenario) for scenario in scenarios]
+
+    def _run_parallel(
+        self,
+        spec: ScenarioSpec,
+        tasks: Sequence[RunTask],
+        processes: int,
+    ) -> list[RunRecord]:
+        payloads = [(spec, task, self.timeout_s) for task in tasks]
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(min(processes, len(tasks))) as pool:
+            return pool.map(_pool_worker, payloads)
+
+
+def run_scenario(
+    scenario: Union[str, ScenarioSpec],
+    parallel: bool = False,
+    processes: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+) -> ExperimentResult:
+    """One-call convenience wrapper around :class:`ExperimentRunner`."""
+    runner = ExperimentRunner(
+        parallel=parallel, processes=processes, timeout_s=timeout_s
+    )
+    return runner.run(scenario)

@@ -1,0 +1,76 @@
+"""Named environment strategies for declarative scenarios.
+
+Scenario specs reference schedulers by name so they stay JSON-serializable;
+this registry turns a name plus the game size into a live
+:class:`~repro.sim.scheduler.Scheduler`. Stochastic schedulers are built
+with a fixed constructor seed — per-run variation comes from
+``Scheduler.reset(seed)``, which the runtime calls with the run seed, so a
+fresh instance per task is fully deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.sim.scheduler import (
+    BatchRandomScheduler,
+    EagerScheduler,
+    FifoScheduler,
+    LaggardScheduler,
+    RandomScheduler,
+    RushingScheduler,
+    Scheduler,
+)
+
+SchedulerBuilder = Callable[[int], Scheduler]
+
+SCHEDULER_BUILDERS: dict[str, SchedulerBuilder] = {}
+
+
+def register_scheduler(name: str, builder: SchedulerBuilder | None = None):
+    """Register a ``(n) -> Scheduler`` builder; usable as a decorator."""
+
+    def _register(fn: SchedulerBuilder) -> SchedulerBuilder:
+        if name in SCHEDULER_BUILDERS:
+            raise ExperimentError(f"scheduler {name!r} is already registered")
+        SCHEDULER_BUILDERS[name] = fn
+        return fn
+
+    if builder is not None:
+        return _register(builder)
+    return _register
+
+
+def scheduler_from_name(name: str, n: int) -> Scheduler:
+    try:
+        builder = SCHEDULER_BUILDERS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown scheduler {name!r}; known schedulers: "
+            f"{', '.join(scheduler_names())}"
+        ) from None
+    return builder(n)
+
+
+def scheduler_names() -> list[str]:
+    return sorted(SCHEDULER_BUILDERS)
+
+
+def _colluding(n: int) -> Scheduler:
+    from repro.analysis.section64 import ColludingScheduler
+
+    return ColludingScheduler((0, 1))
+
+
+register_scheduler("fifo", lambda n: FifoScheduler())
+register_scheduler("random", lambda n: RandomScheduler(0))
+register_scheduler("random-2", lambda n: RandomScheduler(1))
+register_scheduler("eager", lambda n: EagerScheduler())
+register_scheduler("batch-random", lambda n: BatchRandomScheduler(0))
+register_scheduler("laggard-first", lambda n: LaggardScheduler([0]))
+register_scheduler(
+    "laggard-quarter", lambda n: LaggardScheduler(range(max(1, n // 4)))
+)
+register_scheduler("rushing-last", lambda n: RushingScheduler([n - 1]))
+register_scheduler("colluding", _colluding)

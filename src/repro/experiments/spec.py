@@ -1,0 +1,130 @@
+"""Declarative experiment scenarios.
+
+A :class:`ScenarioSpec` is a frozen, JSON-round-trippable description of a
+grid of runs: which game, through which theorem (or directly against the
+mediator / the raw game matrix), at which ``(k, t)``, under which
+environments and deviation profiles, over which seed range. Specs carry no
+live objects — only names resolved at run time through the game, scheduler,
+deviation, and scenario registries — so they pickle cheaply across worker
+processes and serialize losslessly to JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import ExperimentError
+
+THEOREMS = ("4.1", "4.2", "4.4", "4.5", "r1", "mediator", "raw-game")
+"""Legal values of :attr:`ScenarioSpec.theorem`.
+
+The four numbered entries are the paper's cheap-talk compilers; ``r1`` is
+the synchronous baseline; ``mediator`` runs the ideal mediator game itself;
+``raw-game`` evaluates the underlying game matrix on explicit action
+profiles without any simulation.
+"""
+
+MEDIATOR_VARIANTS = ("standard", "leaky-sec64", "minimal-sec64")
+"""Mediator implementations for ``theorem="mediator"`` runs.
+
+``leaky-sec64`` is the paper's Section 6.4 counterexample mediator (leaks
+``a + b·i``); ``minimal-sec64`` is its minimally-informative transform.
+"""
+
+
+def _tuplize(value: Any) -> Any:
+    """Recursively convert lists/tuples to tuples (JSON gives us lists)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_tuplize(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative experiment: a named grid of runs.
+
+    The grid is the cross product ``schedulers × deviations × seeds`` —
+    except for ``r1`` (synchronous: no scheduler, honest only) and
+    ``raw-game`` (one evaluation per entry of ``action_profiles``).
+    """
+
+    name: str
+    game: str
+    n: int
+    theorem: str = "4.1"
+    k: int = 1
+    t: int = 1
+    epsilon: Optional[float] = None
+    schedulers: tuple[str, ...] = ("fifo",)
+    deviations: tuple[str, ...] = ("honest",)
+    seed_start: int = 0
+    seed_count: int = 1
+    type_profile: Optional[tuple] = None
+    action_profiles: tuple[tuple, ...] = ()
+    mediator_variant: str = "standard"
+    step_limit: Optional[int] = None
+    timeout_s: Optional[float] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "schedulers", _tuplize(self.schedulers))
+        object.__setattr__(self, "deviations", _tuplize(self.deviations))
+        object.__setattr__(self, "type_profile", _tuplize(self.type_profile))
+        object.__setattr__(self, "action_profiles", _tuplize(self.action_profiles))
+        if self.theorem not in THEOREMS:
+            raise ExperimentError(
+                f"unknown theorem {self.theorem!r}; one of: {', '.join(THEOREMS)}"
+            )
+        if self.mediator_variant not in MEDIATOR_VARIANTS:
+            raise ExperimentError(
+                f"unknown mediator variant {self.mediator_variant!r}; "
+                f"one of: {', '.join(MEDIATOR_VARIANTS)}"
+            )
+        if self.seed_count < 1:
+            raise ExperimentError("seed_count must be >= 1")
+        if not self.schedulers or not self.deviations:
+            raise ExperimentError("schedulers and deviations must be non-empty")
+        if self.theorem == "raw-game" and not self.action_profiles:
+            raise ExperimentError("raw-game scenarios need action_profiles")
+
+    # -- grid geometry -------------------------------------------------------
+
+    @property
+    def seeds(self) -> tuple[int, ...]:
+        return tuple(range(self.seed_start, self.seed_start + self.seed_count))
+
+    def grid_size(self) -> int:
+        if self.theorem == "raw-game":
+            return len(self.action_profiles)
+        if self.theorem == "r1":
+            return self.seed_count
+        return len(self.schedulers) * len(self.deviations) * self.seed_count
+
+    def replace(self, **changes) -> "ScenarioSpec":
+        """A copy with ``changes`` applied (convenience for overrides)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ExperimentError(
+                f"unknown ScenarioSpec fields: {', '.join(sorted(unknown))}"
+            )
+        return cls(**{key: _tuplize(value) for key, value in data.items()})
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))

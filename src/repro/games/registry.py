@@ -1,0 +1,94 @@
+"""The central game registry shared by the CLI, examples, and experiments.
+
+Historically every entry point (CLI, examples, benchmarks) carried its own
+``GAMES`` dict mapping a short name to a ``lambda n: GameSpec`` maker. This
+module is the single home for that mapping: games register themselves with
+:func:`register_game` and every consumer resolves names through
+:func:`make_game`.
+
+A *maker* takes the requested player count ``n`` and returns a fully
+configured :class:`~repro.games.library.GameSpec`. Makers are free to adjust
+``n`` (some games pin their own player count — ``chicken`` is always
+2-player) or derive secondary parameters from it (``section64`` picks the
+largest legal ``k``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.errors import GameError
+from repro.games.library import (
+    byzantine_agreement_game,
+    chicken_game,
+    consensus_game,
+    free_rider_game,
+    section64_game,
+    shamir_secret_game,
+)
+from repro.games.library import GameSpec
+from repro.games.library_extra import (
+    battle_of_sexes,
+    minority_game,
+    public_goods_game,
+    volunteer_game,
+)
+
+GameMaker = Callable[[int], GameSpec]
+
+GAME_REGISTRY: dict[str, GameMaker] = {}
+
+
+def register_game(name: str, maker: GameMaker | None = None):
+    """Register ``maker`` under ``name``; usable as a decorator.
+
+    ``register_game("foo", fn)`` registers directly;
+    ``@register_game("foo")`` decorates a maker function.
+    """
+
+    def _register(fn: GameMaker) -> GameMaker:
+        if name in GAME_REGISTRY:
+            raise GameError(f"game {name!r} is already registered")
+        GAME_REGISTRY[name] = fn
+        return fn
+
+    if maker is not None:
+        return _register(maker)
+    return _register
+
+
+def make_game(name: str, n: int) -> GameSpec:
+    """Build the registered game ``name`` for ``n`` players."""
+    try:
+        maker = GAME_REGISTRY[name]
+    except KeyError:
+        raise GameError(
+            f"unknown game {name!r}; known games: {', '.join(game_names())}"
+        ) from None
+    return maker(n)
+
+
+def game_names() -> list[str]:
+    return sorted(GAME_REGISTRY)
+
+
+def iter_games() -> Iterator[tuple[str, GameMaker]]:
+    for name in game_names():
+        yield name, GAME_REGISTRY[name]
+
+
+register_game("consensus", lambda n: consensus_game(n))
+register_game("byz-agreement", lambda n: byzantine_agreement_game(n))
+register_game("section64", lambda n: section64_game(n, k=max(1, (n - 1) // 3)))
+register_game("chicken", lambda n: chicken_game())
+register_game("free-rider", lambda n: free_rider_game(n))
+register_game("shamir-secret", lambda n: shamir_secret_game())
+register_game("volunteer", lambda n: volunteer_game(n))
+register_game("battle-of-sexes", lambda n: battle_of_sexes())
+register_game(
+    "public-goods",
+    lambda n: public_goods_game(
+        max(n, 4), max(2, n // 3), pot=1.5 * max(n, 4), cost=1.0
+    ),
+)
+register_game("minority", lambda n: minority_game(n if n % 2 else n + 1))

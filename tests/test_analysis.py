@@ -78,6 +78,7 @@ class TestMediatorDeviations:
         assert run.actions[3] == 0  # default move
 
 
+@pytest.mark.slow
 class TestEmpiricalRobustness:
     def test_consensus_cheap_talk_catalogue_passes(self):
         spec = consensus_game(9)
@@ -121,6 +122,7 @@ class TestEmpiricalRobustness:
         assert result["spread"] < 0.45
 
 
+@pytest.mark.slow
 class TestImplementationChecking:
     def test_cheap_talk_implements_mediator(self):
         spec = consensus_game(9)

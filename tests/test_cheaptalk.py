@@ -115,6 +115,7 @@ class TestCompilerBounds:
         assert "Theorem 4.1" in text and "n > 4k+4t" in text
 
 
+@pytest.mark.slow
 class TestTheorem41Runs:
     def test_consensus_coordinates_across_schedulers(self):
         proto = compile_theorem41(consensus_game(9), 1, 1)

@@ -7,6 +7,8 @@ show different inputs to different peers. These tests mount the
 equivocation attack directly and verify RBC's agreement property closes it.
 """
 
+import pytest
+
 from repro.cheaptalk.game import ENGINE_SID, CheapTalkGame
 from repro.field import GF, DEFAULT_PRIME
 from repro.games.library import byzantine_agreement_game
@@ -65,6 +67,7 @@ def run_with_equivocator(seed, scheduler=None):
     return run
 
 
+@pytest.mark.slow
 class TestEquivocationDefeated:
     def test_honest_players_agree_despite_split_inputs(self):
         for seed in range(3):

@@ -90,6 +90,7 @@ class TestMinority:
             assert payoffs[i] == (1.0 if rec[i] == 1 else 0.0)
 
 
+@pytest.mark.slow
 class TestGenericCircuits:
     @pytest.mark.parametrize(
         "spec_maker",

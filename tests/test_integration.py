@@ -21,6 +21,7 @@ from repro.mediator import MediatorGame, check_ideal_mediator_robustness
 from repro.sim import FifoScheduler, RandomScheduler, scheduler_zoo
 
 
+@pytest.mark.slow
 class TestFullPipelineConsensus:
     """certify -> compile -> implement -> attack, on the workhorse game."""
 
@@ -58,6 +59,7 @@ class TestFullPipelineConsensus:
         assert rob.holds, rob.findings
 
 
+@pytest.mark.slow
 class TestFullPipelineByzantineAgreement:
     """Typed inputs flow through AVSS-free input agreement end to end."""
 
@@ -103,6 +105,7 @@ class TestFullPipelineByzantineAgreement:
         assert ct.actions[1:] == (0,) * 8
 
 
+@pytest.mark.slow
 class TestUtilityVariants:
     """Theorem 4.1's 'for all utility variants' clause: the compiled
     strategy does not depend on utilities, so rescaling them changes
@@ -131,6 +134,7 @@ class TestUtilityVariants:
         assert new == tuple(3 * u for u in base)
 
 
+@pytest.mark.slow
 class TestCrossLayerAccounting:
     def test_trace_messages_match_network_counter(self):
         spec = consensus_game(9)

@@ -366,9 +366,16 @@ class TestEngineFaults:
             assert outputs[p][f"xor@{p}"] == 0
 
     def test_bcg_bound_enforced(self):
-        with pytest.raises(Exception):
-            run_engine(4, 1, build_demo_circuit(4), {p: 0 for p in range(4)},
+        # The engine enforces the soundness bound n > 3t; 3t < n <= 4t is
+        # the deliberately-allowed Theorem 4.4 regime (deadlockable but
+        # never wrong), so n=4, t=1 runs while n=3, t=1 must refuse.
+        with pytest.raises(ProtocolError):
+            run_engine(3, 1, build_demo_circuit(3), {p: 0 for p in range(3)},
                        mode="bcg")
+        outputs, _, _, _ = run_engine(
+            4, 1, build_demo_circuit(4), {p: 0 for p in range(4)}, mode="bcg"
+        )
+        assert outputs[0]["sum"] == 0
 
     def test_missing_input_rejected(self):
         c = Circuit(F, "needy")

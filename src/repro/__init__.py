@@ -55,6 +55,11 @@ __all__ = [
     "RunResult",
     "Scheduler",
     "scheduler_zoo",
+    "TimingModel",
+    "Asynchronous",
+    "LockStep",
+    "BoundedDelay",
+    "timing_from_name",
     "make_game",
     "register_game",
     "ScenarioSpec",
@@ -67,7 +72,17 @@ __all__ = [
     "scenario_names",
 ]
 
-_SIM_EXPORTS = ("Runtime", "RunResult", "Scheduler", "scheduler_zoo")
+_SIM_EXPORTS = (
+    "Runtime",
+    "RunResult",
+    "Scheduler",
+    "scheduler_zoo",
+    "TimingModel",
+    "Asynchronous",
+    "LockStep",
+    "BoundedDelay",
+    "timing_from_name",
+)
 _GAME_REGISTRY_EXPORTS = ("make_game", "register_game")
 _EXPERIMENT_EXPORTS = (
     "ScenarioSpec",

@@ -29,7 +29,7 @@ from typing import Optional, Sequence
 from repro.games.library import BOT, GameSpec
 from repro.mediator.games import MediatorGame
 from repro.mediator.protocol import mediator_pid
-from repro.sim.network import MessageView
+from repro.sim.network import MessageView, TransitView
 from repro.sim.process import Context, Process
 from repro.sim.scheduler import FifoScheduler, Scheduler
 
@@ -136,11 +136,19 @@ class ColludingScheduler(Scheduler):
         return True
 
     def choose(self, in_transit: Sequence[MessageView], step: int):
-        if not self._tripped and any(
-            m.sender == m.recipient and m.sender in self.coalition
-            for m in in_transit
-        ):
-            self._tripped = True
+        if not self._tripped:
+            if isinstance(in_transit, TransitView):
+                # Indexed check: only scan the coalition's own out-buckets.
+                self._tripped = any(
+                    v.recipient == member
+                    for member in self.coalition
+                    for v in in_transit.from_sender(member)
+                )
+            else:
+                self._tripped = any(
+                    m.sender == m.recipient and m.sender in self.coalition
+                    for m in in_transit
+                )
         if self._tripped:
             return None
         return self._base.choose(in_transit, step)

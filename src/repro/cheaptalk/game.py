@@ -24,7 +24,7 @@ from repro.field import GF, DEFAULT_PRIME
 from repro.games.library import GameSpec
 from repro.mediator.games import MediatorRun
 from repro.mpc import TrustedSetup, mpc_sid
-from repro.sim import Runtime, Scheduler
+from repro.sim import Runtime, Scheduler, TimingModel
 from repro.sim.runtime import RunResult
 
 ENGINE_SID = mpc_sid("cheap-talk")
@@ -189,6 +189,7 @@ class CheapTalkGame:
         deviations: Optional[Mapping[int, Callable]] = None,
         step_limit: int = 600_000,
         record_payloads: bool = False,
+        timing: Optional[TimingModel] = None,
     ) -> MediatorRun:
         types = tuple(types)
         setup = self.build_setup(seed)
@@ -198,6 +199,7 @@ class CheapTalkGame:
             seed=seed,
             step_limit=step_limit,
             record_payloads=record_payloads,
+            timing=timing,
         )
         result = runtime.run()
         actions = self.resolve_actions(types, result)

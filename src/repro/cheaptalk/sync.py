@@ -6,6 +6,12 @@ O(nNc) messages. This module compiles the same game specs through the
 synchronous BGW-style engine so the repository can measure the cost of
 asynchrony directly: the same game that needs n > 4k + 4t asynchronously
 (Theorem 4.1) runs synchronously at n > 3k + 3t.
+
+Execution happens on the one simulation kernel: ``SyncRuntime`` adapts the
+round-based processes onto :class:`~repro.sim.runtime.Runtime` under the
+:class:`~repro.sim.timing.LockStep` timing model, so the R1 baseline and
+the asynchronous compilers differ only in their timing model and engine —
+not in their delivery loop.
 """
 
 from __future__ import annotations

@@ -2,10 +2,13 @@
 
 Commands:
 
-* ``run`` — run one registered scenario and print per-run rows + aggregate;
+* ``run`` — run one registered scenario and print per-run rows + aggregate
+  (``--timing`` overrides the timing grid, ``--record-payloads`` captures
+  full traces);
 * ``sweep`` — run one or more scenario grids (optionally in parallel) and
-  print aggregate tables (or JSON with ``--json``);
-* ``scenarios`` — list the scenario registry;
+  print aggregate tables (JSON with ``--json``, flat per-cell CSV rows
+  with ``--csv``);
+* ``scenarios`` — list the scenario registry (``--json`` for specs);
 * ``demo`` — run the quickstart pipeline (mediator vs cheap talk) on a
   chosen library game;
 * ``games`` — list the game library with its certified properties;
@@ -54,6 +57,13 @@ def cmd_games(args) -> None:
 def cmd_scenarios(args) -> None:
     from repro.experiments import iter_scenarios
 
+    if getattr(args, "json", False):
+        print(json.dumps(
+            [spec.to_dict() for spec in iter_scenarios()],
+            indent=2,
+            sort_keys=True,
+        ))
+        return
     rows = [
         (
             spec.name,
@@ -61,13 +71,15 @@ def cmd_scenarios(args) -> None:
             spec.theorem,
             spec.n,
             f"({spec.k},{spec.t})",
+            ",".join(spec.timings),
             spec.grid_size(),
             spec.description,
         )
         for spec in iter_scenarios()
     ]
     print(format_table(
-        ["scenario", "game", "theorem", "n", "(k,t)", "runs", "description"],
+        ["scenario", "game", "theorem", "n", "(k,t)", "timing", "runs",
+         "description"],
         rows,
     ))
 
@@ -81,10 +93,26 @@ def _resolve_scenarios(args):
             spec = get_scenario(name)
             if args.seeds is not None:
                 spec = spec.replace(seed_count=args.seeds)
+            if getattr(args, "timing", None):
+                spec = spec.replace(timings=(args.timing,))
+            if getattr(args, "record_payloads", False):
+                spec = spec.replace(record_payloads=True)
         except ExperimentError as exc:
             sys.exit(str(exc))
         specs.append(spec)
     return specs
+
+
+def _write_csv(path: str, results) -> None:
+    import csv
+
+    from repro.experiments import ExperimentResult
+
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(ExperimentResult.CSV_FIELDS)
+        for result in results:
+            writer.writerows(result.csv_rows())
 
 
 def _print_result(result, per_run: bool) -> None:
@@ -100,6 +128,7 @@ def _print_result(result, per_run: bool) -> None:
     if per_run:
         rows = [
             (
+                r.timing,
                 r.scheduler,
                 r.deviation,
                 r.seed,
@@ -111,7 +140,7 @@ def _print_result(result, per_run: bool) -> None:
             for r in result.records
         ]
         print(format_table(
-            ["scheduler", "deviation", "seed", "error", "actions",
+            ["timing", "scheduler", "deviation", "seed", "error", "actions",
              "payoff", "messages"],
             rows,
         ))
@@ -140,6 +169,10 @@ def _run_and_report(args, per_run: bool) -> None:
         results = [runner.run(spec) for spec in specs]
     except ExperimentError as exc:
         sys.exit(str(exc))
+    if getattr(args, "csv", None):
+        _write_csv(args.csv, results)
+        total = sum(len(r.records) for r in results)
+        print(f"wrote {total} rows to {args.csv}", file=sys.stderr)
     if args.json:
         if len(results) == 1:
             print(results[0].to_json(indent=2))
@@ -270,6 +303,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-run timeout in seconds")
         p.add_argument("--seeds", type=int, default=None,
                        help="override the scenario's seed count")
+        p.add_argument("--timing", default=None, metavar="MODEL",
+                       help="override the scenario's timing grid with one "
+                            "model: async, lockstep, bounded-<d>[@<gst>]")
+        p.add_argument("--record-payloads", action="store_true",
+                       help="capture full traces (with payloads) into the "
+                            "run records")
         p.add_argument("--json", action="store_true",
                        help="emit ExperimentResult JSON instead of tables")
 
@@ -278,6 +317,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_games.set_defaults(func=cmd_games)
 
     p_scen = sub.add_parser("scenarios", help="list the scenario registry")
+    p_scen.add_argument("--json", action="store_true",
+                        help="emit the registry as ScenarioSpec JSON")
     p_scen.set_defaults(func=cmd_scenarios)
 
     p_run = sub.add_parser("run", help="run one scenario with per-run rows")
@@ -286,6 +327,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser("sweep", help="run scenario grids (aggregates)")
     experiment_options(p_sweep)
+    p_sweep.add_argument("--csv", default=None, metavar="PATH",
+                         help="also write per-cell summary rows as CSV")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_demo = sub.add_parser("demo", help="mediator vs cheap talk")

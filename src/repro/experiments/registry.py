@@ -163,6 +163,22 @@ register_scenario(ScenarioSpec(
 ))
 
 register_scenario(ScenarioSpec(
+    name="thm41-timing-models",
+    game="consensus",
+    n=9,
+    theorem="4.1",
+    k=1,
+    t=1,
+    timings=("async", "lockstep", "bounded-4", "bounded-32"),
+    schedulers=("fifo", "random"),
+    deviations=("honest",),
+    seed_count=2,
+    description="Thm 4.1 across timing models: the async protocol still "
+                "coordinates under lock-step rounds and bounded-delay "
+                "partial synchrony.",
+))
+
+register_scenario(ScenarioSpec(
     name="mediator-honest",
     game="consensus",
     n=9,

@@ -32,6 +32,7 @@ class RunRecord:
     scheduler: str
     deviation: str
     seed: int
+    timing: str = "async"
     types: tuple = ()
     actions: tuple = ()
     payoffs: tuple = ()
@@ -43,6 +44,10 @@ class RunRecord:
     deadlocked: bool = False
     error: Optional[str] = None
     timed_out: bool = False
+    trace: tuple = ()
+    """JSON-safe per-event tuples, populated only for
+    ``record_payloads`` scenarios: (step, kind, pid, sender, recipient,
+    uid, payload)."""
     duration_s: float = field(default=0.0, compare=False)
 
     @property
@@ -64,7 +69,8 @@ class RunRecord:
                 f"unknown RunRecord fields: {', '.join(sorted(unknown))}"
             )
         coerced = {
-            key: _tuplize(value) if key in ("types", "actions", "payoffs")
+            key: _tuplize(value)
+            if key in ("types", "actions", "payoffs", "trace")
             else value
             for key, value in data.items()
         }
@@ -141,14 +147,13 @@ class ExperimentResult:
         }
 
     def summary_rows(self) -> list[tuple]:
-        """Per-(scheduler, deviation) rows for an aligned text table."""
-        groups: dict[tuple[str, str], list[RunRecord]] = {}
+        """Per-(timing, scheduler, deviation) rows for an aligned table."""
+        groups: dict[tuple[str, str, str], list[RunRecord]] = {}
         for record in self.records:
-            groups.setdefault((record.scheduler, record.deviation), []).append(
-                record
-            )
+            key = (record.timing, record.scheduler, record.deviation)
+            groups.setdefault(key, []).append(record)
         rows = []
-        for (scheduler, deviation), members in sorted(groups.items()):
+        for (timing, scheduler, deviation), members in sorted(groups.items()):
             ok = [r for r in members if r.ok]
             agreement = (
                 f"{sum(1 for r in ok if r.agreed) / len(ok):.2f}" if ok else "-"
@@ -157,6 +162,7 @@ class ExperimentResult:
             payoff = f"{mean(r.mean_payoff() for r in ok):.3f}" if ok else "-"
             rows.append(
                 (
+                    timing,
                     scheduler,
                     deviation,
                     len(members),
@@ -169,6 +175,7 @@ class ExperimentResult:
         return rows
 
     SUMMARY_HEADERS = (
+        "timing",
         "scheduler",
         "deviation",
         "runs",
@@ -177,6 +184,70 @@ class ExperimentResult:
         "messages",
         "mean payoff",
     )
+
+    CSV_FIELDS = (
+        "scenario",
+        "theorem",
+        "game",
+        "n",
+        "k",
+        "t",
+        "timing",
+        "scheduler",
+        "deviation",
+        "seed",
+        "ok",
+        "agreed",
+        "deadlocked",
+        "timed_out",
+        "actions",
+        "mean_payoff",
+        "messages_sent",
+        "messages_delivered",
+        "messages_dropped",
+        "steps",
+        "error",
+        "duration_s",
+    )
+
+    def csv_rows(self) -> list[tuple]:
+        """One plain-value row per grid cell, aligned with CSV_FIELDS.
+
+        This is the flat per-cell view plotting pipelines consume
+        (``repro sweep --csv``): spec identity columns are repeated on
+        every row so concatenating several scenarios' rows stays
+        self-describing.
+        """
+        spec = self.spec
+        rows = []
+        for r in self.records:
+            rows.append(
+                (
+                    r.scenario,
+                    r.theorem,
+                    spec.game,
+                    spec.n,
+                    spec.k,
+                    spec.t,
+                    r.timing,
+                    r.scheduler,
+                    r.deviation,
+                    r.seed,
+                    int(r.ok),
+                    int(r.agreed),
+                    int(r.deadlocked),
+                    int(r.timed_out),
+                    " ".join(str(a) for a in r.actions),
+                    f"{r.mean_payoff():.6g}",
+                    r.messages_sent,
+                    r.messages_delivered,
+                    r.messages_dropped,
+                    r.steps,
+                    r.error or "",
+                    f"{r.duration_s:.6g}",
+                )
+            )
+        return rows
 
     # -- serialization -------------------------------------------------------
 

@@ -32,6 +32,7 @@ from repro.experiments.results import ExperimentResult, RunRecord
 from repro.experiments.schedulers import scheduler_from_name
 from repro.experiments.spec import ScenarioSpec
 from repro.games.registry import make_game
+from repro.sim.timing import timing_from_name
 
 
 @dataclass(frozen=True)
@@ -43,6 +44,7 @@ class RunTask:
     seed: int
     index: int
     profile_index: Optional[int] = None
+    timing: str = "async"
 
 
 def expand_grid(spec: ScenarioSpec) -> tuple[RunTask, ...]:
@@ -53,8 +55,14 @@ def expand_grid(spec: ScenarioSpec) -> tuple[RunTask, ...]:
                 "raw-game scenarios evaluate the payoff matrix directly; "
                 "schedulers and deviations do not apply (leave the defaults)"
             )
+        if tuple(spec.timings) != ("async",):
+            raise ExperimentError(
+                "raw-game scenarios evaluate the payoff matrix directly; "
+                "a timing grid does not apply (leave the default)"
+            )
         return tuple(
-            RunTask("none", "honest", spec.seed_start, i, profile_index=i)
+            RunTask("none", "honest", spec.seed_start, i, profile_index=i,
+                    timing="none")
             for i in range(len(spec.action_profiles))
         )
     if spec.theorem == "r1":
@@ -67,17 +75,26 @@ def expand_grid(spec: ScenarioSpec) -> tuple[RunTask, ...]:
                 "r1 runs are synchronous (lock-step rounds); a scheduler "
                 "grid does not apply — leave the default single entry"
             )
+        if tuple(spec.timings) != ("async",):
+            raise ExperimentError(
+                "r1 runs are synchronous by construction; a timing grid "
+                "does not apply — leave the default single entry"
+            )
         return tuple(
-            RunTask("sync", "honest", seed, i)
+            RunTask("sync", "honest", seed, i, timing="lockstep")
             for i, seed in enumerate(spec.seeds)
         )
     tasks = []
     index = 0
-    for scheduler in spec.schedulers:
-        for deviation in spec.deviations:
-            for seed in spec.seeds:
-                tasks.append(RunTask(scheduler, deviation, seed, index))
-                index += 1
+    for timing in spec.timings:
+        for scheduler in spec.schedulers:
+            for deviation in spec.deviations:
+                for seed in spec.seeds:
+                    tasks.append(
+                        RunTask(scheduler, deviation, seed, index,
+                                timing=timing)
+                    )
+                    index += 1
     return tuple(tasks)
 
 
@@ -164,6 +181,21 @@ def _mediator_game(spec: ScenarioSpec, game_spec):
     return minimally_informative(leaky, rounds=2)
 
 
+def _json_safe(value):
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return repr(value)
+
+
+def _serialize_trace(trace) -> tuple:
+    """Flatten a Trace into JSON-safe per-event tuples for RunRecord."""
+    return tuple(
+        (e.step, e.kind, e.pid, e.sender, e.recipient, e.uid,
+         _json_safe(e.payload))
+        for e in trace.events
+    )
+
+
 def _execute(spec: ScenarioSpec, task: RunTask) -> RunRecord:
     game_spec = make_game(spec.game, spec.n)
     types = (
@@ -174,6 +206,7 @@ def _execute(spec: ScenarioSpec, task: RunTask) -> RunRecord:
     base = dict(
         scenario=spec.name,
         theorem=spec.theorem,
+        timing=task.timing,
         scheduler=task.scheduler,
         deviation=task.deviation,
         seed=task.seed,
@@ -209,6 +242,7 @@ def _execute(spec: ScenarioSpec, task: RunTask) -> RunRecord:
     mode = MODE_FOR_THEOREM[spec.theorem]
     deviations = deviation_profile(task.deviation, game_spec, spec.k, spec.t, mode)
     scheduler = scheduler_from_name(task.scheduler, spec.n)
+    timing = timing_from_name(task.timing)
     run_kwargs = {}
     if spec.step_limit is not None:
         run_kwargs["step_limit"] = spec.step_limit
@@ -219,6 +253,7 @@ def _execute(spec: ScenarioSpec, task: RunTask) -> RunRecord:
         game = _compile_protocol(spec, game_spec).game
     run = game.run(
         types, scheduler, seed=task.seed, deviations=deviations or None,
+        timing=timing, record_payloads=spec.record_payloads,
         **run_kwargs,
     )
     payoffs = tuple(
@@ -234,6 +269,9 @@ def _execute(spec: ScenarioSpec, task: RunTask) -> RunRecord:
         messages_dropped=result.messages_dropped,
         steps=result.steps,
         deadlocked=result.deadlocked,
+        trace=(
+            _serialize_trace(result.trace) if spec.record_payloads else ()
+        ),
         **base,
     )
 
@@ -251,6 +289,7 @@ def execute_task(
         record = RunRecord(
             scenario=spec.name,
             theorem=spec.theorem,
+            timing=task.timing,
             scheduler=task.scheduler,
             deviation=task.deviation,
             seed=task.seed,
@@ -263,6 +302,7 @@ def execute_task(
         record = RunRecord(
             scenario=spec.name,
             theorem=spec.theorem,
+            timing=task.timing,
             scheduler=task.scheduler,
             deviation=task.deviation,
             seed=task.seed,

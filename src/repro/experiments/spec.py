@@ -2,11 +2,11 @@
 
 A :class:`ScenarioSpec` is a frozen, JSON-round-trippable description of a
 grid of runs: which game, through which theorem (or directly against the
-mediator / the raw game matrix), at which ``(k, t)``, under which
-environments and deviation profiles, over which seed range. Specs carry no
-live objects — only names resolved at run time through the game, scheduler,
-deviation, and scenario registries — so they pickle cheaply across worker
-processes and serialize losslessly to JSON.
+mediator / the raw game matrix), at which ``(k, t)``, under which timing
+models and environments and deviation profiles, over which seed range.
+Specs carry no live objects — only names resolved at run time through the
+game, timing, scheduler, deviation, and scenario registries — so they
+pickle cheaply across worker processes and serialize losslessly to JSON.
 """
 
 from __future__ import annotations
@@ -16,7 +16,8 @@ import json
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, SimulationError
+from repro.sim.timing import timing_from_name
 
 THEOREMS = ("4.1", "4.2", "4.4", "4.5", "r1", "mediator", "raw-game")
 """Legal values of :attr:`ScenarioSpec.theorem`.
@@ -46,9 +47,12 @@ def _tuplize(value: Any) -> Any:
 class ScenarioSpec:
     """One declarative experiment: a named grid of runs.
 
-    The grid is the cross product ``schedulers × deviations × seeds`` —
-    except for ``r1`` (synchronous: no scheduler, honest only) and
-    ``raw-game`` (one evaluation per entry of ``action_profiles``).
+    The grid is the cross product ``timings × schedulers × deviations ×
+    seeds`` — except for ``r1`` (synchronous by construction: no scheduler
+    or timing grid, honest only) and ``raw-game`` (one evaluation per entry
+    of ``action_profiles``). Timing names are resolved through
+    :func:`repro.sim.timing.timing_from_name` (``"async"``, ``"lockstep"``,
+    ``"bounded-<d>[@<gst>]"``).
     """
 
     name: str
@@ -58,6 +62,7 @@ class ScenarioSpec:
     k: int = 1
     t: int = 1
     epsilon: Optional[float] = None
+    timings: tuple[str, ...] = ("async",)
     schedulers: tuple[str, ...] = ("fifo",)
     deviations: tuple[str, ...] = ("honest",)
     seed_start: int = 0
@@ -67,13 +72,20 @@ class ScenarioSpec:
     mediator_variant: str = "standard"
     step_limit: Optional[int] = None
     timeout_s: Optional[float] = None
+    record_payloads: bool = False
     description: str = ""
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "timings", _tuplize(self.timings))
         object.__setattr__(self, "schedulers", _tuplize(self.schedulers))
         object.__setattr__(self, "deviations", _tuplize(self.deviations))
         object.__setattr__(self, "type_profile", _tuplize(self.type_profile))
         object.__setattr__(self, "action_profiles", _tuplize(self.action_profiles))
+        for timing in self.timings:
+            try:
+                timing_from_name(timing)
+            except SimulationError as exc:
+                raise ExperimentError(str(exc)) from None
         if self.theorem not in THEOREMS:
             raise ExperimentError(
                 f"unknown theorem {self.theorem!r}; one of: {', '.join(THEOREMS)}"
@@ -85,8 +97,10 @@ class ScenarioSpec:
             )
         if self.seed_count < 1:
             raise ExperimentError("seed_count must be >= 1")
-        if not self.schedulers or not self.deviations:
-            raise ExperimentError("schedulers and deviations must be non-empty")
+        if not self.timings or not self.schedulers or not self.deviations:
+            raise ExperimentError(
+                "timings, schedulers and deviations must be non-empty"
+            )
         if self.theorem == "raw-game" and not self.action_profiles:
             raise ExperimentError("raw-game scenarios need action_profiles")
 
@@ -101,7 +115,12 @@ class ScenarioSpec:
             return len(self.action_profiles)
         if self.theorem == "r1":
             return self.seed_count
-        return len(self.schedulers) * len(self.deviations) * self.seed_count
+        return (
+            len(self.timings)
+            * len(self.schedulers)
+            * len(self.deviations)
+            * self.seed_count
+        )
 
     def replace(self, **changes) -> "ScenarioSpec":
         """A copy with ``changes`` applied (convenience for overrides)."""

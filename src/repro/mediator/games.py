@@ -15,7 +15,7 @@ from typing import Any, Callable, Mapping, Optional, Sequence
 from repro.errors import GameError
 from repro.games.library import GameSpec
 from repro.mediator.protocol import FnMediator, HonestMediatorPlayer, mediator_pid
-from repro.sim import Runtime, Scheduler
+from repro.sim import Runtime, Scheduler, TimingModel
 from repro.sim.runtime import RunResult
 
 DeviationFactory = Callable[[int, Any], Any]
@@ -98,6 +98,7 @@ class MediatorGame:
         deviations: Optional[Mapping[int, DeviationFactory]] = None,
         step_limit: int = 200_000,
         record_payloads: bool = False,
+        timing: Optional[TimingModel] = None,
     ) -> MediatorRun:
         types = tuple(types)
         runtime = Runtime(
@@ -107,6 +108,7 @@ class MediatorGame:
             mediator_pid=self.mediator,
             step_limit=step_limit,
             record_payloads=record_payloads,
+            timing=timing,
         )
         result = runtime.run()
         actions = self.resolve_actions(types, result)

@@ -1,16 +1,27 @@
-"""Messages and the in-transit message pool.
+"""Messages and the indexed in-transit message pool.
 
 Channels are secure and private point-to-point links: the scheduler observes
 *that* a message exists (sender, recipient, send order) but never its
 payload — mirroring the paper's assumption that the environment cannot read
 messages (Section 6.1). Scheduler code therefore only ever sees
-:class:`MessageView` objects.
+:class:`MessageView` objects — either inside a plain sequence (tests build
+those by hand) or through a :class:`TransitView`, the zero-copy facade the
+kernel hands to schedulers.
+
+The pool is *indexed*: besides the master uid → message map (whose keys are
+always in ascending uid order, because uids are assigned monotonically and
+``dict`` preserves insertion order), the network maintains per-recipient,
+per-sender, and per-batch buckets. Each bucket is an insertion-ordered dict
+as well, so "the oldest message to recipient r" is ``next(iter(bucket))`` —
+O(1) — instead of a scan over a freshly materialized list. Schedulers use
+these through :class:`TransitView`; the old list-building accessors remain
+for tests and cold paths.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Optional, Union
 
 START_SIGNAL = "__START__"
 """Payload of the synthetic game-start signal every process receives first."""
@@ -56,13 +67,101 @@ class MessageView:
     batch: int
 
 
+class TransitView:
+    """Read-only, allocation-free scheduler's view of the in-transit pool.
+
+    Behaves as a ``Sequence[MessageView]`` (``len``/iteration/indexing) so
+    legacy scheduler code keeps working, and exposes indexed queries —
+    :meth:`min_uid`, :meth:`oldest_to`, :meth:`oldest_from`,
+    :meth:`oldest_in_batch` — that answer in O(1) from the network's
+    buckets. Schedulers should prefer the indexed queries; payloads are
+    never reachable through this object.
+    """
+
+    __slots__ = ("_net",)
+
+    def __init__(self, net: "Network") -> None:
+        self._net = net
+
+    # -- Sequence[MessageView] compatibility --------------------------------
+
+    def __len__(self) -> int:
+        return len(self._net._in_transit)
+
+    def __bool__(self) -> bool:
+        return bool(self._net._in_transit)
+
+    def __iter__(self) -> Iterator[MessageView]:
+        return (m.view() for m in self._net._in_transit.values())
+
+    def __getitem__(self, index):
+        msgs = list(self._net._in_transit.values())
+        if isinstance(index, slice):
+            return [m.view() for m in msgs[index]]
+        return msgs[index].view()
+
+    # -- indexed queries -----------------------------------------------------
+
+    def uids(self):
+        """All in-transit uids, ascending (send order)."""
+        return self._net._in_transit.keys()
+
+    def min_uid(self) -> Optional[int]:
+        """Oldest in-transit uid, or None when the pool is empty."""
+        return next(iter(self._net._in_transit), None)
+
+    def recipients(self):
+        """Recipients with at least one in-transit message."""
+        return self._net._by_recipient.keys()
+
+    def senders(self):
+        """Senders with at least one in-transit message."""
+        return self._net._by_sender.keys()
+
+    def oldest_to(self, recipient: int) -> Optional[int]:
+        bucket = self._net._by_recipient.get(recipient)
+        return next(iter(bucket)) if bucket else None
+
+    def oldest_from(self, sender: int) -> Optional[int]:
+        bucket = self._net._by_sender.get(sender)
+        return next(iter(bucket)) if bucket else None
+
+    def oldest_in_batch(self, batch: int) -> Optional[int]:
+        bucket = self._net._by_batch.get(batch)
+        return next(iter(bucket)) if bucket else None
+
+    def batch_of(self, uid: int) -> int:
+        return self._net._in_transit[uid].batch
+
+    def view_of(self, uid: int) -> MessageView:
+        return self._net._in_transit[uid].view()
+
+    def to_recipient(self, recipient: int) -> Iterator[MessageView]:
+        bucket = self._net._by_recipient.get(recipient)
+        return (m.view() for m in bucket.values()) if bucket else iter(())
+
+    def from_sender(self, sender: int) -> Iterator[MessageView]:
+        bucket = self._net._by_sender.get(sender)
+        return (m.view() for m in bucket.values()) if bucket else iter(())
+
+
+TransitPool = Union[TransitView, "Iterable[MessageView]"]
+"""What a scheduler's ``choose`` may receive: the kernel passes a
+:class:`TransitView`; tests and wrapping schedulers may pass plain
+sequences of :class:`MessageView`."""
+
+
 class Network:
-    """The pool of in-transit messages."""
+    """The indexed pool of in-transit messages."""
 
     def __init__(self) -> None:
         self._next_uid = 0
         self._next_batch = 0
         self._in_transit: dict[int, Message] = {}
+        self._by_recipient: dict[int, dict[int, Message]] = {}
+        self._by_sender: dict[int, dict[int, Message]] = {}
+        self._by_batch: dict[int, dict[int, Message]] = {}
+        self._view = TransitView(self)
         self.total_sent = 0
         self.total_delivered = 0
         self.total_dropped = 0
@@ -76,41 +175,85 @@ class Network:
     def send(
         self, sender: int, recipient: int, payload: Any, step: int, batch: int
     ) -> Message:
+        uid = self._next_uid
         msg = Message(
-            uid=self._next_uid,
+            uid=uid,
             sender=sender,
             recipient=recipient,
             payload=payload,
             send_step=step,
             batch=batch,
         )
-        self._next_uid += 1
-        self._in_transit[msg.uid] = msg
+        self._next_uid = uid + 1
+        self._in_transit[uid] = msg
+        by_r = self._by_recipient
+        if recipient in by_r:
+            by_r[recipient][uid] = msg
+        else:
+            by_r[recipient] = {uid: msg}
+        by_s = self._by_sender
+        if sender in by_s:
+            by_s[sender][uid] = msg
+        else:
+            by_s[sender] = {uid: msg}
+        by_b = self._by_batch
+        if batch in by_b:
+            by_b[batch][uid] = msg
+        else:
+            by_b[batch] = {uid: msg}
         self.total_sent += 1
         return msg
 
     # -- delivery ----------------------------------------------------------
 
-    def deliver(self, uid: int, step: int) -> Message:
+    def _remove(self, uid: int) -> Message:
         msg = self._in_transit.pop(uid)
+        bucket = self._by_recipient[msg.recipient]
+        del bucket[uid]
+        if not bucket:
+            del self._by_recipient[msg.recipient]
+        bucket = self._by_sender[msg.sender]
+        del bucket[uid]
+        if not bucket:
+            del self._by_sender[msg.sender]
+        bucket = self._by_batch[msg.batch]
+        del bucket[uid]
+        if not bucket:
+            del self._by_batch[msg.batch]
+        return msg
+
+    def deliver(self, uid: int, step: int) -> Message:
+        msg = self._remove(uid)
         msg.delivered_step = step
         self.total_delivered += 1
         return msg
 
     def drop(self, uid: int) -> Message:
-        msg = self._in_transit.pop(uid)
+        msg = self._remove(uid)
         msg.dropped = True
         self.total_dropped += 1
         return msg
 
     def discard_to(self, recipients: set[int]) -> int:
         """Silently discard messages addressed to halted processes."""
-        uids = [m.uid for m in self._in_transit.values() if m.recipient in recipients]
+        uids = [
+            uid
+            for recipient in recipients
+            if recipient in self._by_recipient
+            for uid in self._by_recipient[recipient]
+        ]
         for uid in uids:
             self.drop(uid)
         return len(uids)
 
     # -- inspection --------------------------------------------------------
+
+    def view(self) -> TransitView:
+        """The scheduler-facing facade (a singleton; state lives here)."""
+        return self._view
+
+    def get(self, uid: int) -> Optional[Message]:
+        return self._in_transit.get(uid)
 
     def in_transit(self) -> list[Message]:
         return list(self._in_transit.values())
@@ -119,14 +262,14 @@ class Network:
         return [m.view() for m in self._in_transit.values()]
 
     def in_transit_to(self, recipient: int) -> list[Message]:
-        return [m for m in self._in_transit.values() if m.recipient == recipient]
+        return list(self._by_recipient.get(recipient, {}).values())
 
     def has_message_for(self, recipients: Iterable[int]) -> bool:
-        wanted = set(recipients)
-        return any(m.recipient in wanted for m in self._in_transit.values())
+        by_r = self._by_recipient
+        return any(r in by_r for r in recipients)
 
     def batch_members(self, batch: int) -> list[Message]:
-        return [m for m in self._in_transit.values() if m.batch == batch]
+        return list(self._by_batch.get(batch, {}).values())
 
     def __len__(self) -> int:
         return len(self._in_transit)

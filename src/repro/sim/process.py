@@ -65,6 +65,15 @@ class Process:
         """Called once per delivered message."""
         raise NotImplementedError
 
+    def on_tick(self, ctx: Context, round_no: int) -> None:
+        """Called at virtual-time boundaries of round-based timing models.
+
+        Under :class:`~repro.sim.timing.LockStep` every live process
+        observes each round boundary. Message-driven protocols can ignore
+        ticks (this default is a no-op); round-based processes (the
+        ``SyncProcess`` adapter) use them to drive per-round callbacks.
+        """
+
     def on_deadlock(self, pid: int) -> Optional[Any]:
         """AH-approach *will*: the move to make if the run deadlocks.
 

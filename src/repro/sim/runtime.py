@@ -1,19 +1,31 @@
-"""The simulation runtime: runs processes under an environment strategy.
+"""The simulation kernel: one event loop, pluggable timing models.
 
-The loop is exactly the paper's alternation: the environment (scheduler)
-chooses a message to deliver; the recipient is activated with it; the
-recipient's sends join the in-transit pool; repeat. Start signals are
-modelled as synthetic environment messages so that "a player is told the
-game started when first scheduled" falls out of the same mechanism.
+The loop generalises the paper's alternation: a
+:class:`~repro.sim.timing.TimingModel` decides which in-transit messages
+are currently *eligible*; the environment (scheduler) chooses one of them
+to deliver; the recipient is activated with it; the recipient's sends join
+the in-transit pool; repeat. With the default :class:`Asynchronous` model
+every message is always eligible and the loop is exactly the paper's
+Section 2 game against the environment. :class:`LockStep` restricts
+eligibility to synchronous rounds (the R1/R2 baseline —
+``repro.sim.sync.SyncRuntime`` is a thin adapter over this kernel), and
+:class:`BoundedDelay` gives partial synchrony with an explicit delay bound
+and GST. Start signals are modelled as synthetic environment messages so
+that "a player is told the game started when first scheduled" falls out of
+the same mechanism; timing models may additionally fire *ticks*
+(:meth:`Process.on_tick`) at virtual-time boundaries.
 
-Termination taxonomy of a run:
+Termination taxonomy of a run (identical across timing models):
 
-* *quiesced* — no messages remain for live processes (every protocol either
-  halted or is waiting forever on nothing; with non-relaxed schedulers this
-  only happens when no one will ever send again);
+* *quiesced* — no deliverable messages remain and the timing model cannot
+  advance (every protocol either halted or is waiting forever on nothing;
+  with non-relaxed schedulers this only happens when no one will ever send
+  again);
 * *deadlocked* — a relaxed scheduler stopped delivering (Lemma 6.10
   situation) or quiescence was reached with live processes remaining;
-  the AH-approach *wills* of live processes are collected in the result.
+  the AH-approach *wills* of live processes are collected in the result;
+* *step-limited* — the step budget ran out (raises
+  :class:`StepLimitExceeded` unless ``raise_on_step_limit=False``).
 
 The all-or-none rule for mediator batches under relaxed schedulers is
 enforced here: if any message of a batch sent by the mediator was delivered,
@@ -29,6 +41,7 @@ from repro.errors import SchedulerError, SimulationError, StepLimitExceeded
 from repro.sim.network import Message, Network, START_SIGNAL
 from repro.sim.process import Context, Process
 from repro.sim.scheduler import Scheduler
+from repro.sim.timing import Asynchronous, TimingModel
 from repro.sim.trace import Trace, TraceEvent
 from repro.utils.rng import RngTree
 
@@ -50,6 +63,10 @@ class RunResult:
     messages_sent: int
     messages_delivered: int
     messages_dropped: int
+    env_messages: int = 0
+    """How many of ``messages_sent`` were environment-injected signals
+    (start signals): ``messages_sent - env_messages`` is the protocol's own
+    traffic."""
 
     def output_profile(self, pids: list[int], missing: Any = None) -> tuple:
         """Outputs as a tuple ordered by ``pids`` (``missing`` if absent)."""
@@ -57,7 +74,13 @@ class RunResult:
 
 
 class Runtime:
-    """Run a set of processes to completion under a scheduler."""
+    """Run a set of processes to completion under a scheduler.
+
+    ``timing`` selects the network model (default
+    :class:`~repro.sim.timing.Asynchronous`); the same processes, scheduler,
+    and seed under a different timing model give the controlled comparisons
+    the paper's R1-vs-Theorem-4.1 discussion is about.
+    """
 
     def __init__(
         self,
@@ -68,15 +91,19 @@ class Runtime:
         mediator_pid: Optional[int] = None,
         record_payloads: bool = False,
         raise_on_step_limit: bool = True,
+        timing: Optional[TimingModel] = None,
+        rng_namespace: str = "proc",
     ) -> None:
         if not processes:
             raise SimulationError("need at least one process")
         self.processes = dict(processes)
         self.scheduler = scheduler
+        self.timing = timing if timing is not None else Asynchronous()
         self.seed = seed
         self.step_limit = step_limit
         self.mediator_pid = mediator_pid
         self.raise_on_step_limit = raise_on_step_limit
+        self.rng_namespace = rng_namespace
 
         self.network = Network()
         self.trace = Trace(record_payloads=record_payloads)
@@ -86,6 +113,7 @@ class Runtime:
         self._rng_tree = RngTree(seed)
         self._rngs: dict[int, Any] = {}
         self._step = 0
+        self._env_sent = 0
         self._current_batch = 0
         self._delivered_batches: set[int] = set()
         self._mediator_batches: set[int] = set()
@@ -94,7 +122,7 @@ class Runtime:
 
     def rng_for(self, pid: int):
         if pid not in self._rngs:
-            self._rngs[pid] = self._rng_tree.child("proc", pid).rng
+            self._rngs[pid] = self._rng_tree.child(self.rng_namespace, pid).rng
         return self._rngs[pid]
 
     def _send_from(self, sender: int, recipient: int, payload: Any, batch: int) -> None:
@@ -103,6 +131,7 @@ class Runtime:
         if sender == self.mediator_pid:
             self._mediator_batches.add(batch)
         msg = self.network.send(sender, recipient, payload, self._step, batch)
+        self.timing.on_send(msg, self._step)
         self.trace.add(
             TraceEvent(
                 step=self._step,
@@ -132,12 +161,32 @@ class Runtime:
         self.trace.add(TraceEvent(step=self._step, kind="halt", pid=pid))
         self.network.discard_to({pid})
 
+    # -- services used by timing models --------------------------------------
+
+    def tick_processes(self, round_no: int) -> None:
+        """Fire :meth:`Process.on_tick` on every live process (pid order).
+
+        Called by timing models at virtual-time boundaries (e.g. the round
+        boundary of :class:`~repro.sim.timing.LockStep`). Sends performed
+        during a tick form one batch per process, like any activation.
+        """
+        for pid in sorted(self.processes):
+            if pid in self.halted:
+                continue
+            process = self.processes[pid]
+            batch = self.network.new_batch()
+            ctx = Context(self, pid, self._step, batch)
+            self.trace.add(TraceEvent(step=self._step, kind="tick", pid=pid))
+            process.on_tick(ctx, round_no)
+
     # -- the main loop -------------------------------------------------------
 
     def run(self) -> RunResult:
         self.scheduler.reset(self.seed)
+        self.timing.reset(self)
         self._inject_start_signals()
         stopped_by_scheduler = False
+        all_pids = set(self.processes)
 
         while True:
             if self._step >= self.step_limit:
@@ -147,21 +196,23 @@ class Runtime:
                         f"(scheduler {self.scheduler.name})"
                     )
                 break
-            if self.halted >= set(self.processes):
-                break
-            if len(self.network) == 0:
+            if self.halted >= all_pids:
                 break
 
-            uid = self.scheduler.choose(self.network.in_transit_views(), self._step)
+            pool = self.timing.eligible(self.network, self._step)
+            if not len(pool):
+                if self.timing.advance(self):
+                    continue
+                break  # quiesced: nothing deliverable, time cannot advance
+
+            uid = self.scheduler.choose(pool, self._step)
             if uid is None:
                 if not self.scheduler.is_relaxed():
-                    if len(self.network) > 0:
-                        raise SchedulerError(
-                            f"non-relaxed scheduler {self.scheduler.name} refused "
-                            f"to deliver with {len(self.network)} messages in transit"
-                        )
-                    break
-                forced = self._forced_batch_completion()
+                    raise SchedulerError(
+                        f"non-relaxed scheduler {self.scheduler.name} refused "
+                        f"to deliver with {len(self.network)} messages in transit"
+                    )
+                forced = self._forced_batch_completion(pool)
                 if forced is None:
                     stopped_by_scheduler = True
                     break
@@ -201,6 +252,7 @@ class Runtime:
             messages_sent=self.network.total_sent,
             messages_delivered=self.network.total_delivered,
             messages_dropped=self.network.total_dropped,
+            env_messages=self._env_sent,
         )
 
     # -- internals -----------------------------------------------------------
@@ -208,25 +260,41 @@ class Runtime:
     def _inject_start_signals(self) -> None:
         for pid in sorted(self.processes):
             batch = self.network.new_batch()
-            self.network.send(ENVIRONMENT_PID, pid, START_SIGNAL, 0, batch)
+            msg = self.network.send(ENVIRONMENT_PID, pid, START_SIGNAL, 0, batch)
+            self.timing.on_send(msg, 0)
+            self._env_sent += 1
 
-    def _forced_batch_completion(self) -> Optional[int]:
+    def _forced_batch_completion(self, pool=None) -> Optional[int]:
         """Uid of a message that must still be delivered (batch atomicity).
 
         Mediator batches must be all-or-none under relaxed schedulers; start
         signals must always be delivered (every player is eventually
-        scheduled, even by relaxed environments).
+        scheduled, even by relaxed environments). Candidates are drawn from
+        the timing model's eligible ``pool`` first, so forcing respects the
+        timing model whenever it can; if the only remaining obligations are
+        not yet eligible, the full in-transit set is the fallback — the
+        paper's hard guarantees outrank the timing bound when a relaxed
+        environment stops mid-batch.
         """
+        if pool is not None:
+            forced = self._forced_candidate(pool)
+            if forced is not None:
+                return forced
+        return self._forced_candidate(self.network.in_transit_views())
+
+    def _forced_candidate(self, views) -> Optional[int]:
         candidates = []
-        for msg in self.network.in_transit():
-            if msg.payload == START_SIGNAL and msg.sender == ENVIRONMENT_PID:
-                if msg.recipient not in self.halted:
-                    candidates.append(msg.uid)
+        for view in views:
+            # The environment only ever injects start signals, so the
+            # sender check identifies them without reading payloads.
+            if view.sender == ENVIRONMENT_PID:
+                if view.recipient not in self.halted:
+                    candidates.append(view.uid)
             elif (
-                msg.batch in self._mediator_batches
-                and msg.batch in self._delivered_batches
+                view.batch in self._mediator_batches
+                and view.batch in self._delivered_batches
             ):
-                candidates.append(msg.uid)
+                candidates.append(view.uid)
         if not candidates:
             return None
         return min(candidates)
@@ -237,6 +305,7 @@ class Runtime:
         except KeyError:
             raise SchedulerError(f"scheduler chose unknown message uid {uid}")
         self._step += 1
+        self.timing.on_deliver(msg, self._step)
         self._delivered_batches.add(msg.batch)
         self.trace.add(
             TraceEvent(

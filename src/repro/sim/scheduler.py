@@ -3,14 +3,19 @@
 A scheduler is the paper's *environment*: at each step it chooses which
 in-transit message to deliver next. Non-relaxed schedulers must eventually
 deliver everything; the concrete schedulers here all satisfy that contract
-by construction. :class:`RelaxedScheduler` implements the Section 5 relaxed
-environment that may drop messages — subject to the all-or-none rule for
-batches emitted by the mediator in a single step.
+by construction (``tests/test_schedulers.py`` additionally enforces it
+empirically on a randomized workload). :class:`RelaxedScheduler` implements
+the Section 5 relaxed environment that may drop messages — subject to the
+all-or-none rule for batches emitted by the mediator in a single step.
 
-Schedulers only ever see :class:`~repro.sim.network.MessageView` objects
-(sender / recipient / ordering metadata), never payloads: channels are
-private. The covert-channel construction of Section 6.1 (communicating with
-the environment through message *counts*) remains expressible, and
+Schedulers only ever see message *metadata* (sender / recipient / ordering),
+never payloads: channels are private. The kernel hands ``choose`` a
+:class:`~repro.sim.network.TransitView` — an indexed, allocation-free facade
+over the in-transit pool — and every scheduler here answers from its O(1)
+bucket queries. A plain ``Sequence[MessageView]`` is also accepted (tests
+and wrapping schedulers build those), via the legacy scan paths. The
+covert-channel construction of Section 6.1 (communicating with the
+environment through message *counts*) remains expressible, and
 ``repro.analysis.deviations`` exercises it.
 """
 
@@ -18,10 +23,10 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
 from repro.errors import SchedulerError
-from repro.sim.network import MessageView
+from repro.sim.network import MessageView, TransitPool, TransitView
 
 
 class Scheduler(ABC):
@@ -33,7 +38,7 @@ class Scheduler(ABC):
         """Prepare for a fresh run (re-seed any internal randomness)."""
 
     @abstractmethod
-    def choose(self, in_transit: Sequence[MessageView], step: int) -> Optional[int]:
+    def choose(self, in_transit: TransitPool, step: int) -> Optional[int]:
         """Return the uid of the message to deliver next.
 
         ``None`` is only legal for relaxed schedulers and means "stop
@@ -52,7 +57,9 @@ class FifoScheduler(Scheduler):
 
     name = "fifo"
 
-    def choose(self, in_transit: Sequence[MessageView], step: int) -> Optional[int]:
+    def choose(self, in_transit: TransitPool, step: int) -> Optional[int]:
+        if isinstance(in_transit, TransitView):
+            return in_transit.min_uid()
         if not in_transit:
             return None
         return min(in_transit, key=lambda m: m.uid).uid
@@ -70,7 +77,12 @@ class RandomScheduler(Scheduler):
     def reset(self, seed: int) -> None:
         self._rng = random.Random((self._seed, seed).__hash__())
 
-    def choose(self, in_transit: Sequence[MessageView], step: int) -> Optional[int]:
+    def choose(self, in_transit: TransitPool, step: int) -> Optional[int]:
+        if isinstance(in_transit, TransitView):
+            if not in_transit:
+                return None
+            # uids() is already ascending: same draw as sorting views.
+            return self._rng.choice(list(in_transit.uids()))
         if not in_transit:
             return None
         return self._rng.choice(sorted(m.uid for m in in_transit))
@@ -91,7 +103,19 @@ class EagerScheduler(Scheduler):
     def reset(self, seed: int) -> None:
         self._current = None
 
-    def choose(self, in_transit: Sequence[MessageView], step: int) -> Optional[int]:
+    def choose(self, in_transit: TransitPool, step: int) -> Optional[int]:
+        if isinstance(in_transit, TransitView):
+            if not in_transit:
+                return None
+            uid = (
+                in_transit.oldest_to(self._current)
+                if self._current is not None
+                else None
+            )
+            if uid is None:
+                self._current = min(in_transit.recipients())
+                uid = in_transit.oldest_to(self._current)
+            return uid
         if not in_transit:
             return None
         to_current = [m for m in in_transit if m.recipient == self._current]
@@ -122,7 +146,28 @@ class LaggardScheduler(Scheduler):
             return True
         return self.lag_senders and m.sender in self.lagging
 
-    def choose(self, in_transit: Sequence[MessageView], step: int) -> Optional[int]:
+    def choose(self, in_transit: TransitPool, step: int) -> Optional[int]:
+        if isinstance(in_transit, TransitView):
+            if not in_transit:
+                return None
+            best: Optional[int] = None
+            for recipient in in_transit.recipients():
+                if recipient in self.lagging:
+                    continue
+                if self.lag_senders:
+                    uid = next(
+                        (
+                            v.uid
+                            for v in in_transit.to_recipient(recipient)
+                            if v.sender not in self.lagging
+                        ),
+                        None,
+                    )
+                else:
+                    uid = in_transit.oldest_to(recipient)
+                if uid is not None and (best is None or uid < best):
+                    best = uid
+            return best if best is not None else in_transit.min_uid()
         if not in_transit:
             return None
         fast = [m for m in in_transit if not self._is_slow(m)]
@@ -149,7 +194,19 @@ class BatchRandomScheduler(Scheduler):
         self._rng = random.Random((self._seed, seed).__hash__())
         self._active_batch = None
 
-    def choose(self, in_transit: Sequence[MessageView], step: int) -> Optional[int]:
+    def choose(self, in_transit: TransitPool, step: int) -> Optional[int]:
+        if isinstance(in_transit, TransitView):
+            if not in_transit:
+                return None
+            if self._active_batch is not None:
+                uid = in_transit.oldest_in_batch(self._active_batch)
+                if uid is not None:
+                    return uid
+            # choice() indexes the list, so drawing from ascending uids
+            # consumes the RNG exactly like drawing from sorted views.
+            uid = self._rng.choice(list(in_transit.uids()))
+            self._active_batch = in_transit.batch_of(uid)
+            return uid
         if not in_transit:
             return None
         if self._active_batch is not None:
@@ -176,7 +233,17 @@ class RushingScheduler(Scheduler):
         self.favoured = frozenset(favoured)
         self.name = f"rushing{sorted(self.favoured)}"
 
-    def choose(self, in_transit: Sequence[MessageView], step: int) -> Optional[int]:
+    def choose(self, in_transit: TransitPool, step: int) -> Optional[int]:
+        if isinstance(in_transit, TransitView):
+            if not in_transit:
+                return None
+            best: Optional[int] = None
+            for sender in in_transit.senders():
+                if sender in self.favoured:
+                    uid = in_transit.oldest_from(sender)
+                    if uid is not None and (best is None or uid < best):
+                        best = uid
+            return best if best is not None else in_transit.min_uid()
         if not in_transit:
             return None
         fast = [m for m in in_transit if m.sender in self.favoured]
@@ -210,7 +277,7 @@ class RelaxedScheduler(Scheduler):
     def is_relaxed(self) -> bool:
         return True
 
-    def choose(self, in_transit: Sequence[MessageView], step: int) -> Optional[int]:
+    def choose(self, in_transit: TransitPool, step: int) -> Optional[int]:
         if self._delivered >= self.deliveries_before_stop:
             return None
         uid = self.base.choose(in_transit, step)
@@ -241,7 +308,7 @@ class DropPlanRelaxedScheduler(Scheduler):
     def is_relaxed(self) -> bool:
         return True
 
-    def choose(self, in_transit: Sequence[MessageView], step: int) -> Optional[int]:
+    def choose(self, in_transit: TransitPool, step: int) -> Optional[int]:
         deliverable = [m for m in in_transit if not self.should_drop(m)]
         if not deliverable:
             return None

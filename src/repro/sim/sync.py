@@ -6,6 +6,17 @@ message sent in round r is delivered at the start of round r+1. This module
 provides that model so the repository can measure the *cost of asynchrony*
 (the extra k+t in the bounds) as an ablation.
 
+Since the timing-model refactor there is **no independent synchronous
+delivery loop**: :class:`SyncRuntime` is a thin adapter over the one
+simulation kernel (:class:`~repro.sim.runtime.Runtime`) running under the
+:class:`~repro.sim.timing.LockStep` timing model. Round-based
+:class:`SyncProcess` objects are wrapped in a message-driven adapter that
+buffers each round's deliveries and fires ``on_round`` at the kernel's
+round-boundary tick. Deliveries, halting, message accounting, and the
+double-output rule are therefore *the same code* in both worlds — the only
+difference between the synchronous and asynchronous settings is the timing
+model, which is the paper's point.
+
 A broadcast channel — which the synchronous literature assumes as a
 primitive — is modelled by :meth:`SyncContext.broadcast`: the runtime
 delivers the same payload to every player (equivocation is impossible by
@@ -18,35 +29,46 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.errors import SimulationError, StepLimitExceeded
-from repro.utils.rng import RngTree
+from repro.errors import SimulationError
+from repro.sim.process import Context, Process
+from repro.sim.runtime import Runtime
+from repro.sim.scheduler import FifoScheduler
+from repro.sim.timing import LockStep
 
 
 class SyncContext:
-    """Capability object for one process in one synchronous round."""
+    """Capability object for one process in one synchronous round.
 
-    def __init__(self, runtime: "SyncRuntime", pid: int) -> None:
-        self._runtime = runtime
-        self.pid = pid
-        self.round = runtime.round
-        self.rng = runtime.rng_for(pid)
+    Wraps the kernel :class:`~repro.sim.process.Context` of the current
+    activation, adding the round number and the synchronous model's free
+    broadcast channel.
+    """
+
+    __slots__ = ("_ctx", "_pids", "pid", "round", "rng")
+
+    def __init__(self, ctx: Context, pids: list[int], round_no: int) -> None:
+        self._ctx = ctx
+        self._pids = pids
+        self.pid = ctx.pid
+        self.round = round_no
+        self.rng = ctx.rng
 
     def send(self, recipient: int, payload: Any) -> None:
-        self._runtime._post(self.pid, recipient, payload)
+        self._ctx.send(recipient, payload)
 
     def broadcast(self, payload: Any) -> None:
         """Send the same payload to every player (broadcast channel)."""
-        for pid in self._runtime.pids:
-            self._runtime._post(self.pid, pid, payload, broadcast=True)
+        for pid in self._pids:
+            self._ctx.send(pid, payload)
 
     def output(self, action: Any) -> None:
-        self._runtime._record_output(self.pid, action)
+        self._ctx.output(action)
 
     def halt(self) -> None:
-        self._runtime._record_halt(self.pid)
+        self._ctx.halt()
 
     def has_output(self) -> bool:
-        return self.pid in self._runtime.outputs
+        return self._ctx.has_output()
 
 
 class SyncProcess:
@@ -63,6 +85,36 @@ class SyncProcess:
         return None
 
 
+class _RoundAdapter(Process):
+    """Message-driven kernel process hosting one round-based SyncProcess.
+
+    Buffers the round's deliveries; the LockStep tick flushes them into
+    ``on_round``. Round 0 fires from the start signal with an empty inbox,
+    exactly like the legacy synchronous loop.
+    """
+
+    __slots__ = ("wrapped", "_pids", "_inbox")
+
+    def __init__(self, wrapped: SyncProcess, pids: list[int]) -> None:
+        self.wrapped = wrapped
+        self._pids = pids
+        self._inbox: list[tuple[int, Any]] = []
+
+    def on_start(self, ctx: Context) -> None:
+        self.wrapped.on_round(SyncContext(ctx, self._pids, 0), [])
+
+    def on_message(self, ctx: Context, sender: int, payload: Any) -> None:
+        self._inbox.append((sender, payload))
+
+    def on_tick(self, ctx: Context, round_no: int) -> None:
+        inbox = sorted(self._inbox, key=lambda m: m[0])
+        self._inbox = []
+        self.wrapped.on_round(SyncContext(ctx, self._pids, round_no), inbox)
+
+    def on_deadlock(self, pid: int) -> Optional[Any]:
+        return self.wrapped.on_deadlock(pid)
+
+
 @dataclass
 class SyncRunResult:
     outputs: dict[int, Any]
@@ -73,7 +125,14 @@ class SyncRunResult:
 
 
 class SyncRuntime:
-    """Lock-step executor: rounds until quiescence or the round limit."""
+    """Lock-step executor: rounds until quiescence or the round limit.
+
+    A thin adapter: builds the one simulation kernel with the
+    :class:`~repro.sim.timing.LockStep` timing model (and a FIFO scheduler,
+    whose within-round order is invisible to round-based processes) and
+    repackages the kernel's :class:`~repro.sim.runtime.RunResult` into the
+    legacy :class:`SyncRunResult` shape.
+    """
 
     def __init__(
         self,
@@ -87,64 +146,27 @@ class SyncRuntime:
         self.pids = sorted(processes)
         self.seed = seed
         self.max_rounds = max_rounds
-        self.round = 0
-        self.outputs: dict[int, Any] = {}
-        self.halted: set[int] = set()
-        self.messages_sent = 0
-        self._inboxes: dict[int, list[tuple[int, Any]]] = {p: [] for p in self.pids}
-        self._next: dict[int, list[tuple[int, Any]]] = {p: [] for p in self.pids}
-        self._rng_tree = RngTree(seed)
-        self._rngs: dict[int, Any] = {}
-
-    def rng_for(self, pid: int):
-        if pid not in self._rngs:
-            self._rngs[pid] = self._rng_tree.child("sync", pid).rng
-        return self._rngs[pid]
-
-    def _post(self, sender: int, recipient: int, payload: Any,
-              broadcast: bool = False) -> None:
-        if recipient not in self._next:
-            raise SimulationError(f"send to unknown process {recipient}")
-        self._next[recipient].append((sender, payload))
-        self.messages_sent += 1
-
-    def _record_output(self, pid: int, action: Any) -> None:
-        if pid in self.outputs:
-            raise SimulationError(f"process {pid} attempted to output twice")
-        self.outputs[pid] = action
-
-    def _record_halt(self, pid: int) -> None:
-        self.halted.add(pid)
 
     def run(self) -> SyncRunResult:
-        while True:
-            if self.round >= self.max_rounds:
-                raise StepLimitExceeded(
-                    f"no quiescence after {self.max_rounds} synchronous rounds"
-                )
-            live = [p for p in self.pids if p not in self.halted]
-            has_mail = any(self._inboxes[p] for p in live)
-            if not live or (self.round > 0 and not has_mail):
-                break
-            for pid in live:
-                ctx = SyncContext(self, pid)
-                inbox = sorted(self._inboxes[pid], key=lambda m: m[0])
-                self.processes[pid].on_round(ctx, inbox)
-            self._inboxes = {
-                p: (self._next[p] if p not in self.halted else [])
-                for p in self.pids
-            }
-            self._next = {p: [] for p in self.pids}
-            self.round += 1
-
-        wills = {}
-        for pid in self.pids:
-            if pid not in self.outputs and pid not in self.halted:
-                wills[pid] = self.processes[pid].on_deadlock(pid)
+        timing = LockStep(max_rounds=self.max_rounds)
+        wrapped = {
+            pid: _RoundAdapter(proc, self.pids)
+            for pid, proc in self.processes.items()
+        }
+        kernel = Runtime(
+            wrapped,
+            FifoScheduler(),
+            seed=self.seed,
+            timing=timing,
+            # The legacy synchronous loop drew per-pid randomness from the
+            # "sync" RngTree namespace; keep seeded runs bit-identical.
+            rng_namespace="sync",
+        )
+        result = kernel.run()
         return SyncRunResult(
-            outputs=dict(self.outputs),
-            halted=set(self.halted),
-            rounds=self.round,
-            messages_sent=self.messages_sent,
-            wills=wills,
+            outputs=result.outputs,
+            halted=result.halted,
+            rounds=timing.rounds_completed(),
+            messages_sent=result.messages_sent - result.env_messages,
+            wills=result.wills,
         )

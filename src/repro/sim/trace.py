@@ -18,7 +18,7 @@ class TraceEvent:
     """One observable event in a run."""
 
     step: int
-    kind: str  # "start" | "send" | "deliver" | "drop" | "output" | "halt" | "note"
+    kind: str  # "start" | "send" | "deliver" | "drop" | "output" | "halt" | "tick" | "note"
     pid: int
     sender: Optional[int] = None
     recipient: Optional[int] = None

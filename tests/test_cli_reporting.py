@@ -97,6 +97,52 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["demo", "--game", "nope"])
 
+    def test_scenarios_json(self, capsys):
+        import json
+
+        main(["scenarios", "--json"])
+        specs = json.loads(capsys.readouterr().out)
+        assert isinstance(specs, list) and specs
+        names = {spec["name"] for spec in specs}
+        assert "thm41-honest" in names
+        assert all("timings" in spec for spec in specs)
+
+    def test_sweep_csv(self, tmp_path, capsys):
+        import csv
+
+        out = tmp_path / "cells.csv"
+        main(["sweep", "raw-chicken-matrix", "--csv", str(out)])
+        capsys.readouterr()
+        with open(out, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 4  # one row per action profile cell
+        assert rows[0]["scenario"] == "raw-chicken-matrix"
+        assert {"timing", "scheduler", "deviation", "mean_payoff"} <= set(
+            rows[0]
+        )
+
+    def test_run_timing_override(self, capsys):
+        main([
+            "run", "chicken-mediator", "--seeds", "1", "--timing", "lockstep",
+        ])
+        out = capsys.readouterr().out
+        assert "lockstep" in out
+
+    def test_bad_timing_override_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "chicken-mediator", "--timing", "warp"])
+
+    def test_record_payloads_flag(self, capsys):
+        main([
+            "run", "chicken-mediator", "--seeds", "1",
+            "--record-payloads", "--json",
+        ])
+        import json
+
+        data = json.loads(capsys.readouterr().out)
+        assert data["spec"]["record_payloads"] is True
+        assert data["records"][0]["trace"], "expected captured trace events"
+
     def test_all_game_makers_construct(self):
         for name, maker in GAMES.items():
             spec = maker(9)

@@ -7,11 +7,14 @@ from repro.sim import (
     EagerScheduler,
     FifoScheduler,
     LaggardScheduler,
+    Process,
     RandomScheduler,
     RelaxedScheduler,
+    Runtime,
+    RushingScheduler,
     scheduler_zoo,
 )
-from repro.sim.network import MessageView
+from repro.sim.network import MessageView, Network
 
 
 def mk(uid, sender=0, recipient=1, batch=0):
@@ -110,6 +113,120 @@ class TestRelaxed:
     def test_is_relaxed_flags(self):
         assert RelaxedScheduler(FifoScheduler(), 1).is_relaxed()
         assert not FifoScheduler().is_relaxed()
+
+
+class Chatty(Process):
+    """Randomized workload: a burst at start, one relay per delivery."""
+
+    def __init__(self, n, budget=12):
+        self.n = n
+        self.budget = budget
+
+    def on_start(self, ctx):
+        for _ in range(3):
+            ctx.send(ctx.rng.randrange(self.n), ("chat", ctx.pid))
+
+    def on_message(self, ctx, sender, payload):
+        if self.budget > 0:
+            self.budget -= 1
+            ctx.send(ctx.rng.randrange(self.n), ("chat", ctx.pid))
+
+
+def _registered_schedulers(n):
+    from repro.experiments.schedulers import (
+        SCHEDULER_BUILDERS,
+        scheduler_from_name,
+    )
+
+    return [(name, scheduler_from_name(name, n)) for name in
+            sorted(SCHEDULER_BUILDERS)]
+
+
+class TestDrainContract:
+    """Satellite: every registered non-relaxed scheduler must eventually
+    deliver every message — the ``Scheduler.choose`` contract, enforced
+    empirically on a randomized workload instead of only by construction."""
+
+    def test_non_relaxed_schedulers_drain_everything(self):
+        n = 6
+        for name, scheduler in _registered_schedulers(n):
+            if scheduler.is_relaxed():
+                continue
+            result = Runtime(
+                {pid: Chatty(n) for pid in range(n)}, scheduler, seed=11
+            ).run()
+            assert result.messages_dropped == 0, name
+            assert result.messages_delivered == result.messages_sent, name
+
+    def test_zoo_schedulers_drain_everything(self):
+        n = 6
+        for scheduler in scheduler_zoo(seed=3, parties=range(n)):
+            result = Runtime(
+                {pid: Chatty(n) for pid in range(n)}, scheduler, seed=5
+            ).run()
+            assert result.messages_dropped == 0, scheduler.name
+            assert (
+                result.messages_delivered == result.messages_sent
+            ), scheduler.name
+
+    def test_relaxed_registered_schedulers_flagged(self):
+        # Relaxed entries in the registry must say so, since the drain
+        # contract intentionally skips them.
+        relaxed = [name for name, s in _registered_schedulers(6)
+                   if s.is_relaxed()]
+        assert relaxed == ["colluding"]
+
+
+class TestTransitViewFastPaths:
+    """The indexed TransitView answers must match the legacy list scans."""
+
+    def _network(self):
+        net = Network()
+        # A mix of recipients/senders/batches, some removed to exercise
+        # bucket cleanup.
+        layout = [
+            (0, 1, 10), (1, 2, 10), (2, 0, 11), (1, 0, 12), (3, 2, 12),
+            (2, 1, 13), (0, 2, 13), (3, 0, 14), (1, 3, 14), (2, 3, 15),
+        ]
+        for sender, recipient, batch in layout:
+            net.send(sender, recipient, "x", 0, batch)
+        net.deliver(1, 1)
+        net.drop(4)
+        net.deliver(0, 2)
+        return net
+
+    def _fresh_pairs(self):
+        return [
+            (FifoScheduler(), FifoScheduler()),
+            (RandomScheduler(7), RandomScheduler(7)),
+            (EagerScheduler(), EagerScheduler()),
+            (BatchRandomScheduler(7), BatchRandomScheduler(7)),
+            (LaggardScheduler([0]), LaggardScheduler([0])),
+            (LaggardScheduler([2], lag_senders=True),
+             LaggardScheduler([2], lag_senders=True)),
+            (RushingScheduler([3]), RushingScheduler([3])),
+            (RushingScheduler([0, 2]), RushingScheduler([0, 2])),
+        ]
+
+    def test_view_choice_matches_legacy_choice(self):
+        for fast, legacy in self._fresh_pairs():
+            net = self._network()
+            fast.reset(9)
+            legacy.reset(9)
+            for step in range(len(net)):
+                view_pick = fast.choose(net.view(), step)
+                list_pick = legacy.choose(net.in_transit_views(), step)
+                assert view_pick == list_pick, type(fast).__name__
+                net.deliver(view_pick, step)
+            assert fast.choose(net.view(), 99) is None
+
+    def test_view_is_a_sequence(self):
+        net = self._network()
+        view = net.view()
+        assert len(view) == 7
+        assert [m.uid for m in view] == sorted(m.uid for m in view)
+        assert view[0].uid == min(view.uids())
+        assert view.min_uid() == view[0].uid
 
 
 class TestZoo:

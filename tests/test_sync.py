@@ -57,6 +57,24 @@ class TestSyncRuntime:
         with pytest.raises(StepLimitExceeded):
             SyncRuntime({0: Chatter()}, max_rounds=10).run()
 
+    def test_rng_uses_legacy_sync_namespace(self):
+        """Seeded synchronous runs must reproduce pre-kernel randomness."""
+        from repro.utils.rng import RngTree
+
+        values = {}
+
+        class Roller(SyncProcess):
+            def on_round(self, ctx, inbox):
+                values[ctx.pid] = ctx.rng.randrange(10**9)
+                ctx.halt()
+
+        SyncRuntime({0: Roller(), 1: Roller()}, seed=3).run()
+        expected = {
+            pid: RngTree(3).child("sync", pid).rng.randrange(10**9)
+            for pid in (0, 1)
+        }
+        assert values == expected
+
     def test_rng_deterministic(self):
         values = {}
 

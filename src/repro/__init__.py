@@ -16,7 +16,10 @@ The package implements, from scratch:
 * the cheap-talk compilers of Theorems 4.1, 4.2, 4.4 and 4.5, with both the
   AH-approach (wills) and default-move semantics for deadlock;
 * analysis tooling: deviation library, empirical robustness checking,
-  implementation distance, t-bisimulation/t-emulation/cotermination checks.
+  implementation distance, t-bisimulation/t-emulation/cotermination checks;
+* the robustness-audit engine: coalition enumeration with symmetry
+  reduction, compositional deviation search (exhaustive / random / greedy),
+  and the (k, t, ε) robustness frontier.
 """
 
 __version__ = "1.0.0"
@@ -70,6 +73,13 @@ __all__ = [
     "get_scenario",
     "register_scenario",
     "scenario_names",
+    "AuditSpec",
+    "AuditResult",
+    "run_audit",
+    "run_frontier",
+    "get_audit",
+    "register_audit",
+    "audit_names",
 ]
 
 _SIM_EXPORTS = (
@@ -93,6 +103,15 @@ _EXPERIMENT_EXPORTS = (
     "get_scenario",
     "register_scenario",
     "scenario_names",
+)
+_AUDIT_EXPORTS = (
+    "AuditSpec",
+    "AuditResult",
+    "run_audit",
+    "run_frontier",
+    "get_audit",
+    "register_audit",
+    "audit_names",
 )
 
 
@@ -131,4 +150,8 @@ def __getattr__(name):
         from repro import experiments
 
         return getattr(experiments, name)
+    if name in _AUDIT_EXPORTS:
+        from repro import audit
+
+        return getattr(audit, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -41,16 +41,27 @@ class LeakAttacker(Process):
 
     Participates in the protocol honestly, but shares its round-1 leak with
     its partner. Once both leaks are known and ``b = leak_i + leak_j mod 2``
-    (valid when i − j is odd) turns out to be 0, it signals the colluding
-    environment with a self-message and stops cooperating; its own move
-    (made directly, or via its will on deadlock) is ⊥.
+    (valid when i − j is odd) equals ``stall_when`` (the paper's attack
+    conditions on b = 0, the default), it signals the colluding environment
+    with a self-message and stops cooperating; its own move (made directly,
+    or via its will on deadlock) is ⊥. ``stall_when`` is a parameter so the
+    audit strategy space can search over the conditioning — the profitable
+    direction is something the search must discover, not an input.
     """
 
-    def __init__(self, spec: GameSpec, pid: int, own_type, partner: int) -> None:
+    def __init__(
+        self,
+        spec: GameSpec,
+        pid: int,
+        own_type,
+        partner: int,
+        stall_when: int = 0,
+    ) -> None:
         self.spec = spec
         self.pid = pid
         self.own_type = own_type
         self.partner = partner
+        self.stall_when = stall_when
         self._mediator = mediator_pid(spec.game.n)
         self.my_leak: Optional[int] = None
         self.partner_leak: Optional[int] = None
@@ -64,11 +75,13 @@ class LeakAttacker(Process):
         if self.b is not None or self.my_leak is None or self.partner_leak is None:
             return
         self.b = (self.my_leak + self.partner_leak) % 2
-        if self.b == 0:
-            # Punishment outcome (1.1) beats following (1.0): force deadlock.
+        if self.b == self.stall_when:
+            # With stall_when=0: punishment (1.1) beats following (1.0), so
+            # force a deadlock. Conditioning on b=1 instead would trade the
+            # 2.0 outcome for 1.1 — strictly worse, and the audit search
+            # confirms it empirically.
             self.stalled = True
             ctx.send(ctx.pid, SIGNAL)
-        # If b == 1, following (payoff 2.0) beats punishment: stay honest.
 
     def on_message(self, ctx: Context, sender: int, payload) -> None:
         if self.stalled:

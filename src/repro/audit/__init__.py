@@ -1,0 +1,82 @@
+"""The automated robustness-audit engine.
+
+The paper's claims are ε-(k,t)-robustness statements: no coalition of up
+to k rational players, even alongside t malicious ones, gains more than ε
+by deviating from the protocol. This subsystem turns each such claim into
+a runnable query instead of a spot check:
+
+* :mod:`repro.audit.coalitions` enumerates rational/malicious splits up to
+  (k, t) with symmetry reduction over player types;
+* :mod:`repro.audit.strategy_space` composes the deviation primitives
+  (crash, stall grids, lying, selective silence, misreports, covert
+  signalling, joint leak-pooling) into a typed, seedable search space of
+  JSON-serializable candidates;
+* :mod:`repro.audit.search` scores candidates by expected-utility gain
+  over a cached honest baseline, batching evaluation through the ordinary
+  :class:`~repro.experiments.runner.ExperimentRunner` (exhaustive, random,
+  and greedy hill-climbing drivers);
+* :mod:`repro.audit.frontier` sweeps (k, t, ε) into the robustness
+  frontier, returned as a JSON-round-trippable :class:`AuditResult`;
+* :mod:`repro.audit.registry` holds the declarative :class:`AuditSpec` and
+  the canonical audits for Theorems 4.1/4.2/4.4/4.5 and the Section 6.4
+  leak counterexample (which the search must *rediscover*).
+
+    >>> from repro.audit import run_audit
+    >>> result = run_audit("sec64-leak")
+    >>> result.robust()          # the leaky mediator is NOT robust
+    False
+    >>> result.max_gain() > 0    # the covert-channel attack was found
+    True
+"""
+
+from repro.audit.coalitions import (
+    Coalition,
+    coalition_signature,
+    enumerate_coalitions,
+)
+from repro.audit.strategy_space import (
+    ATOM_MODES,
+    AUDIT_DEVIATION_PREFIX,
+    CandidateDeviation,
+    DeviationAtom,
+    HONEST_CANDIDATE,
+    StrategySpace,
+    atom_kinds,
+    candidate_from_name,
+)
+from repro.audit.registry import (
+    SEARCH_METHODS,
+    AuditSpec,
+    audit_names,
+    get_audit,
+    iter_audits,
+    register_audit,
+)
+from repro.audit.search import AuditEngine, CandidateScore, FrontierCell
+from repro.audit.frontier import AuditResult, run_audit, run_frontier
+
+__all__ = [
+    "ATOM_MODES",
+    "AUDIT_DEVIATION_PREFIX",
+    "AuditEngine",
+    "AuditResult",
+    "AuditSpec",
+    "CandidateDeviation",
+    "CandidateScore",
+    "Coalition",
+    "DeviationAtom",
+    "FrontierCell",
+    "HONEST_CANDIDATE",
+    "SEARCH_METHODS",
+    "StrategySpace",
+    "atom_kinds",
+    "audit_names",
+    "candidate_from_name",
+    "coalition_signature",
+    "enumerate_coalitions",
+    "get_audit",
+    "iter_audits",
+    "register_audit",
+    "run_audit",
+    "run_frontier",
+]

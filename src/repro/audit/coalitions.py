@@ -1,0 +1,118 @@
+"""Coalition enumeration with symmetry reduction.
+
+An ε-(k,t)-robustness claim quantifies over every split of the players into
+a rational coalition K (|K| ≤ k), a malicious set T (|T| ≤ t, disjoint from
+K), and honest outsiders. Enumerating the splits naively is O(n^(k+t));
+most of them are redundant because players of the same type are
+interchangeable in the games we audit. The reduction below keeps one
+representative per *signature* orbit, where a player's signature is its
+``(type, pid parity)`` pair: the type captures game-level symmetry, the
+index parity captures the position sensitivity of mediators that condition
+on the player index — the Section 6.4 leak ``a + b·i (mod 2)`` distinguishes
+exactly the parity classes, so collapsing them would hide the paper's own
+counterexample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Optional, Sequence
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class Coalition:
+    """One deviating split: rational members K and malicious members T."""
+
+    rational: tuple[int, ...] = ()
+    malicious: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rational", tuple(sorted(self.rational)))
+        object.__setattr__(self, "malicious", tuple(sorted(self.malicious)))
+        overlap = set(self.rational) & set(self.malicious)
+        if overlap:
+            raise ExperimentError(
+                f"coalition members {sorted(overlap)} cannot be both "
+                "rational and malicious"
+            )
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        return tuple(sorted(self.rational + self.malicious))
+
+    @property
+    def size(self) -> int:
+        return len(self.rational) + len(self.malicious)
+
+    def outsiders(self, n: int) -> tuple[int, ...]:
+        inside = set(self.members)
+        return tuple(pid for pid in range(n) if pid not in inside)
+
+    def describe(self) -> str:
+        parts = [f"K={list(self.rational)}"]
+        if self.malicious:
+            parts.append(f"T={list(self.malicious)}")
+        return " ".join(parts)
+
+
+def coalition_signature(
+    coalition: Coalition, types: Sequence
+) -> tuple[tuple, tuple]:
+    """The symmetry-orbit key: sorted (type, parity) multisets of K and T."""
+    return (
+        tuple(sorted((repr(types[i]), i % 2) for i in coalition.rational)),
+        tuple(sorted((repr(types[i]), i % 2) for i in coalition.malicious)),
+    )
+
+
+def enumerate_coalitions(
+    n: int,
+    k: int,
+    t: int,
+    types: Optional[Sequence] = None,
+    symmetry: bool = True,
+    include_empty: bool = False,
+) -> tuple[Coalition, ...]:
+    """All (representative) coalitions with |K| ≤ k and |T| ≤ t.
+
+    ``types`` is the type profile used for the symmetry signature (defaults
+    to all-identical, the complete-information case). With ``symmetry=True``
+    only the lexicographically-first coalition of each signature orbit is
+    kept; passing ``symmetry=False`` returns the full enumeration.
+    ``include_empty`` additionally yields splits with no rational member
+    (pure-malice trials, scored for t-immunity rather than gain).
+    """
+    if k < 0 or t < 0:
+        raise ExperimentError("coalition bounds k and t must be >= 0")
+    if k + t > n:
+        raise ExperimentError(
+            f"coalition bounds (k={k}, t={t}) exceed the player count n={n}"
+        )
+    if types is None:
+        types = (0,) * n
+    if len(types) != n:
+        raise ExperimentError(
+            f"type profile has {len(types)} entries for n={n} players"
+        )
+    players = range(n)
+    minimum_rational = 0 if include_empty else 1
+    seen: set[tuple[tuple, tuple]] = set()
+    out: list[Coalition] = []
+    for r_size in range(minimum_rational, k + 1):
+        for rational in combinations(players, r_size):
+            remaining = [p for p in players if p not in rational]
+            for m_size in range(0, t + 1):
+                if r_size == 0 and m_size == 0:
+                    continue
+                for malicious in combinations(remaining, m_size):
+                    coalition = Coalition(rational, malicious)
+                    if symmetry:
+                        key = coalition_signature(coalition, types)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                    out.append(coalition)
+    return tuple(out)

@@ -1,0 +1,242 @@
+"""The (k, t, ε) robustness frontier and the structured audit result.
+
+:func:`run_audit` audits one (k, t) cell; :func:`run_frontier` sweeps the
+whole rectangle ``1 ≤ k ≤ K, 0 ≤ t ≤ T`` and records, per cell, the
+maximum coalition gain the search observed — the empirical robustness
+frontier. Both return an :class:`AuditResult`, which bundles the audit
+spec with its cells and round-trips losslessly through JSON exactly like
+:class:`~repro.experiments.results.ExperimentResult` (wall-clock fields
+are excluded from equality).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.audit.registry import AuditSpec, get_audit
+from repro.audit.search import AuditEngine, FrontierCell
+from repro.errors import ExperimentError
+from repro.experiments.runner import ExperimentRunner
+
+
+@dataclass(frozen=True)
+class AuditResult:
+    """All frontier cells of one audit, with aggregation and JSON round-trip."""
+
+    spec: AuditSpec
+    cells: tuple[FrontierCell, ...]
+    elapsed_s: float = field(default=0.0, compare=False)
+    parallel: bool = field(default=False, compare=False)
+
+    # -- aggregations --------------------------------------------------------
+
+    def ok_cells(self) -> list[FrontierCell]:
+        return [c for c in self.cells if c.ok]
+
+    def max_gain(self) -> float:
+        gains = [c.max_gain for c in self.ok_cells()]
+        return max(gains) if gains else 0.0
+
+    def robust(self) -> bool:
+        """Every auditable cell within its ε + tolerance bound."""
+        return all(c.robust for c in self.ok_cells())
+
+    def evaluations(self) -> int:
+        return sum(c.evaluated for c in self.cells)
+
+    def aggregate(self) -> dict:
+        return {
+            "audit": self.spec.name,
+            "scenario": self.spec.scenario,
+            "cells": len(self.cells),
+            "unsupported": sum(1 for c in self.cells if not c.ok),
+            "evaluations": self.evaluations(),
+            "max_gain": self.max_gain(),
+            "robust": self.robust(),
+        }
+
+    SUMMARY_HEADERS = (
+        "k",
+        "t",
+        "method",
+        "space",
+        "evaluated",
+        "max gain",
+        "epsilon",
+        "robust",
+        "best deviation",
+    )
+
+    def summary_rows(self) -> list[tuple]:
+        rows = []
+        for cell in self.cells:
+            if not cell.ok:
+                rows.append(
+                    (cell.k, cell.t, cell.method, cell.space_size, 0, "-",
+                     f"{cell.epsilon:.3g}", "n/a", cell.error)
+                )
+                continue
+            rows.append(
+                (
+                    cell.k,
+                    cell.t,
+                    cell.method,
+                    cell.space_size,
+                    cell.evaluated,
+                    f"{cell.max_gain:+.4f}",
+                    f"{cell.epsilon:.3g}",
+                    "yes" if cell.robust else "NO",
+                    cell.best.label if cell.best is not None else "-",
+                )
+            )
+        return rows
+
+    CSV_FIELDS = (
+        "audit",
+        "scenario",
+        "k",
+        "t",
+        "epsilon",
+        "tolerance",
+        "method",
+        "space_size",
+        "evaluated",
+        "max_gain",
+        "robust",
+        "best_deviation",
+        "best_rational",
+        "best_malicious",
+        "best_outsider_harm",
+        "error",
+    )
+
+    def csv_rows(self) -> list[tuple]:
+        """One plain-value row per frontier cell, aligned with CSV_FIELDS."""
+        rows = []
+        for cell in self.cells:
+            best = cell.best
+            rows.append(
+                (
+                    self.spec.name,
+                    self.spec.scenario,
+                    cell.k,
+                    cell.t,
+                    f"{cell.epsilon:.6g}",
+                    f"{cell.tolerance:.6g}",
+                    cell.method,
+                    cell.space_size,
+                    cell.evaluated,
+                    f"{cell.max_gain:.6g}",
+                    int(cell.robust) if cell.ok else "",
+                    best.label if best is not None else "",
+                    " ".join(str(p) for p in best.rational) if best else "",
+                    " ".join(str(p) for p in best.malicious) if best else "",
+                    f"{best.outsider_harm:.6g}" if best is not None else "",
+                    cell.error or "",
+                )
+            )
+        return rows
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "cells": [cell.to_dict() for cell in self.cells],
+            "elapsed_s": self.elapsed_s,
+            "parallel": self.parallel,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AuditResult":
+        try:
+            spec_data = data["spec"]
+            cell_data = data["cells"]
+        except (KeyError, TypeError):
+            raise ExperimentError(
+                "AuditResult JSON needs 'spec' and 'cells'"
+            ) from None
+        return cls(
+            spec=AuditSpec.from_dict(spec_data),
+            cells=tuple(FrontierCell.from_dict(c) for c in cell_data),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+            parallel=bool(data.get("parallel", False)),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AuditResult":
+        return cls.from_dict(json.loads(text))
+
+
+# ---------------------------------------------------------------------------
+# Drivers
+# ---------------------------------------------------------------------------
+
+def _engine(
+    audit: Union[str, AuditSpec],
+    parallel: bool,
+    processes: Optional[int],
+    timeout_s: Optional[float],
+) -> AuditEngine:
+    spec = get_audit(audit) if isinstance(audit, str) else audit
+    runner = ExperimentRunner(
+        parallel=parallel, processes=processes, timeout_s=timeout_s
+    )
+    return AuditEngine(spec, runner=runner)
+
+
+def run_audit(
+    audit: Union[str, AuditSpec],
+    parallel: bool = False,
+    processes: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+) -> AuditResult:
+    """Audit the spec's own (k, t) cell; return a one-cell result."""
+    engine = _engine(audit, parallel, processes, timeout_s)
+    start = time.perf_counter()
+    cell = engine.run_cell()
+    return AuditResult(
+        spec=engine.spec,
+        cells=(cell,),
+        elapsed_s=time.perf_counter() - start,
+        parallel=engine.runner.parallel,
+    )
+
+
+def run_frontier(
+    audit: Union[str, AuditSpec],
+    ks: Optional[Sequence[int]] = None,
+    ts: Optional[Sequence[int]] = None,
+    parallel: bool = False,
+    processes: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+) -> AuditResult:
+    """Sweep the (k, t) rectangle; return the max observed gain per cell.
+
+    Defaults: ``k`` from 1 to the audit's (or scenario's) k, ``t`` from 0
+    to its t. Cells whose honest baseline cannot run (e.g. a theorem bound
+    violation) are reported with ``error`` set instead of failing the sweep.
+    """
+    engine = _engine(audit, parallel, processes, timeout_s)
+    if ks is None:
+        ks = range(1, max(engine.k, 1) + 1)
+    if ts is None:
+        ts = range(0, engine.t + 1)
+    ks = tuple(ks)
+    ts = tuple(ts)
+    if not ks or not ts:
+        raise ExperimentError("frontier needs at least one k and one t value")
+    start = time.perf_counter()
+    cells = tuple(engine.run_cell(k, t) for k in ks for t in ts)
+    return AuditResult(
+        spec=engine.spec,
+        cells=cells,
+        elapsed_s=time.perf_counter() - start,
+        parallel=engine.runner.parallel,
+    )

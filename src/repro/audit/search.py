@@ -1,0 +1,458 @@
+"""Search drivers: score candidate deviations against a cached baseline.
+
+The :class:`AuditEngine` turns "is this an ε-equilibrium?" into a search
+problem. Candidates are serialized into ``audit:{…}`` deviation names and
+evaluated in batches through the ordinary
+:class:`~repro.experiments.runner.ExperimentRunner` — one batch is one
+scenario grid (``timings × schedulers × candidates × seeds``), so parallel
+evaluation, per-run timeouts, and error capture all come for free, and
+parallel and serial audits produce identical scores because parallel and
+serial sweeps produce identical records.
+
+A candidate's *gain* is the minimum over its rational members of the mean
+payoff improvement against the honest baseline on the identical
+``(timing, scheduler, seed)`` grid: the coalition's guaranteed profit, the
+quantity ε-(k,t)-robustness bounds. Three drivers are provided —
+exhaustive enumeration for small spaces, seeded random sampling, and
+greedy best-response hill climbing for large ones; ``auto`` picks
+exhaustive exactly when the space fits the budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import time
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Iterable, Optional, Union
+
+from repro.audit.coalitions import enumerate_coalitions
+from repro.audit.registry import AuditSpec, get_audit
+from repro.audit.strategy_space import (
+    HONEST_CANDIDATE,
+    CandidateDeviation,
+    StrategySpace,
+    candidate_from_name,
+)
+from repro.errors import ExperimentError
+from repro.experiments.deviations import MODE_FOR_THEOREM
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.spec import ScenarioSpec, _tuplize
+from repro.games.registry import make_game
+
+EVAL_BATCH = 16
+"""Candidates evaluated per runner call (one scenario grid per batch)."""
+
+
+@dataclass(frozen=True)
+class CandidateScore:
+    """One evaluated candidate: its coalition, gain, and bookkeeping."""
+
+    candidate: str
+    label: str
+    rational: tuple[int, ...] = ()
+    malicious: tuple[int, ...] = ()
+    gain: float = 0.0
+    member_gains: tuple[float, ...] = ()
+    outsider_harm: float = 0.0
+    runs: int = 0
+    failures: int = 0
+    scored: bool = True
+    """False when every run of the candidate (or its baseline) failed."""
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CandidateScore":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ExperimentError(
+                f"unknown CandidateScore fields: {', '.join(sorted(unknown))}"
+            )
+        return cls(**{key: _tuplize(value) for key, value in data.items()})
+
+
+@dataclass(frozen=True)
+class FrontierCell:
+    """The audit verdict for one (k, t) cell of the robustness frontier."""
+
+    k: int
+    t: int
+    epsilon: float
+    tolerance: float
+    method: str
+    space_size: int = 0
+    evaluated: int = 0
+    max_gain: float = 0.0
+    robust: bool = True
+    best: Optional[CandidateScore] = None
+    top: tuple[CandidateScore, ...] = ()
+    error: Optional[str] = None
+    elapsed_s: float = field(default=0.0, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> dict:
+        return {
+            **{
+                f.name: getattr(self, f.name)
+                for f in dataclasses.fields(self)
+                if f.name not in ("best", "top")
+            },
+            "best": None if self.best is None else self.best.to_dict(),
+            "top": [score.to_dict() for score in self.top],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FrontierCell":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ExperimentError(
+                f"unknown FrontierCell fields: {', '.join(sorted(unknown))}"
+            )
+        data = dict(data)
+        best = data.pop("best", None)
+        top = data.pop("top", ())
+        return cls(
+            best=None if best is None else CandidateScore.from_dict(best),
+            top=tuple(CandidateScore.from_dict(s) for s in top),
+            **data,
+        )
+
+
+class _CellError(ExperimentError):
+    """Baseline failure: the cell cannot be audited (e.g. bound violation).
+
+    Derives from :class:`ExperimentError` so that, when it escapes through
+    the public ``baseline``/``evaluate`` API, callers keep the package-wide
+    ``except ReproError`` contract; ``run_cell`` catches it and turns it
+    into an errored :class:`FrontierCell` instead.
+    """
+
+
+class AuditEngine:
+    """Evaluate and search candidate deviations for one audit spec."""
+
+    def __init__(
+        self,
+        spec: Union[str, AuditSpec],
+        runner: Optional[ExperimentRunner] = None,
+    ) -> None:
+        if isinstance(spec, str):
+            spec = get_audit(spec)
+        from repro.experiments.registry import get_scenario
+
+        self.spec = spec
+        self.base = get_scenario(spec.scenario)
+        self.mode = MODE_FOR_THEOREM[self.base.theorem]
+        if self.mode == "none":
+            raise ExperimentError(
+                f"scenario {self.base.name!r} (theorem "
+                f"{self.base.theorem!r}) takes no deviations and cannot be "
+                "audited"
+            )
+        self.runner = runner or ExperimentRunner()
+        self.game_spec = make_game(self.base.game, self.base.n)
+        self.types = (
+            self.base.type_profile
+            if self.base.type_profile is not None
+            else tuple(self.game_spec.game.type_space.profiles()[0])
+        )
+        self.k = spec.k if spec.k is not None else self.base.k
+        self.t = spec.t if spec.t is not None else self.base.t
+        base_epsilon = self.base.epsilon if self.base.epsilon is not None else 0.0
+        self.epsilon = (
+            spec.epsilon if spec.epsilon is not None else base_epsilon
+        )
+        self._baselines: dict[tuple[int, int], dict] = {}
+
+    # -- plumbing ------------------------------------------------------------
+
+    def scenario_for(
+        self, k: int, t: int, deviations: tuple[str, ...]
+    ) -> ScenarioSpec:
+        overrides: dict = {
+            "name": f"{self.spec.name}[k={k},t={t}]",
+            "k": k,
+            "t": t,
+            "deviations": deviations,
+        }
+        if self.spec.seed_count is not None:
+            overrides["seed_count"] = self.spec.seed_count
+        if self.spec.schedulers is not None:
+            overrides["schedulers"] = self.spec.schedulers
+        if self.spec.timings is not None:
+            overrides["timings"] = self.spec.timings
+        return self.base.replace(**overrides)
+
+    def strategy_space(self, k: int, t: int) -> StrategySpace:
+        # The symmetry signature must distinguish players whose realized
+        # types coincide but whose *potential* type sets differ — only the
+        # latter decide which misreport atoms a member gets — so each
+        # player's signature value pairs its realized type with its
+        # marginal type set.
+        type_space = self.game_spec.game.type_space
+        signature_types = tuple(
+            (realized, tuple(sorted(map(repr, type_space.player_types(i)))))
+            for i, realized in enumerate(self.types)
+        )
+        coalitions = enumerate_coalitions(
+            self.base.n, k, t, types=signature_types,
+            symmetry=self.spec.symmetry,
+        )
+        return StrategySpace(
+            self.game_spec,
+            self.mode,
+            coalitions,
+            atoms=self.spec.atoms,
+            stall_limits=self.spec.stall_limits,
+        )
+
+    def _grouped_records(
+        self, k: int, t: int, deviations: tuple[str, ...]
+    ) -> dict[str, dict]:
+        """Run the grid; group records as {deviation: {(timing, sched, seed)}}."""
+        result = self.runner.run(self.scenario_for(k, t, deviations))
+        grouped: dict[str, dict] = {name: {} for name in deviations}
+        for record in result.records:
+            grouped.setdefault(record.deviation, {})[
+                (record.timing, record.scheduler, record.seed)
+            ] = record
+        return grouped
+
+    def baseline(self, k: int, t: int) -> dict:
+        """Honest records for cell (k, t), keyed by grid cell (cached)."""
+        key = (k, t)
+        if key not in self._baselines:
+            grouped = self._grouped_records(k, t, ("honest",))
+            records = grouped.get("honest", {})
+            failures = [r for r in records.values() if not r.ok]
+            if not records or len(failures) == len(records):
+                detail = failures[0].error if failures else "no records"
+                raise _CellError(
+                    f"honest baseline failed at (k={k}, t={t}): {detail}"
+                )
+            self._baselines[key] = records
+        return self._baselines[key]
+
+    # -- scoring -------------------------------------------------------------
+
+    def _score(
+        self,
+        candidate: CandidateDeviation,
+        runs: dict,
+        baseline: dict,
+    ) -> CandidateScore:
+        pairs = [
+            (record, baseline[key])
+            for key, record in sorted(runs.items())
+            if record.ok and key in baseline and baseline[key].ok
+        ]
+        failures = sum(1 for record in runs.values() if not record.ok)
+        outsiders = candidate.coalition.outsiders(self.base.n)
+        if not pairs:
+            return CandidateScore(
+                candidate=candidate.name,
+                label=candidate.describe(),
+                rational=candidate.rational,
+                malicious=candidate.malicious,
+                runs=len(runs),
+                failures=failures,
+                scored=False,
+            )
+        member_gains = tuple(
+            float(mean(dev.payoffs[i] - base.payoffs[i] for dev, base in pairs))
+            for i in candidate.rational
+        )
+        outsider_harm = max(
+            (
+                float(mean(
+                    base.payoffs[i] - dev.payoffs[i] for dev, base in pairs
+                ))
+                for i in outsiders
+            ),
+            default=0.0,
+        )
+        return CandidateScore(
+            candidate=candidate.name,
+            label=candidate.describe(),
+            rational=candidate.rational,
+            malicious=candidate.malicious,
+            gain=min(member_gains) if member_gains else 0.0,
+            member_gains=member_gains,
+            outsider_harm=outsider_harm,
+            runs=len(runs),
+            failures=failures,
+        )
+
+    def evaluate(
+        self,
+        candidates: Iterable[CandidateDeviation],
+        k: Optional[int] = None,
+        t: Optional[int] = None,
+    ) -> list[CandidateScore]:
+        """Score candidates against the cell's cached honest baseline."""
+        k = self.k if k is None else k
+        t = self.t if t is None else t
+        baseline = self.baseline(k, t)
+        candidates = list(candidates)
+        scores: list[CandidateScore] = []
+        for start in range(0, len(candidates), EVAL_BATCH):
+            batch = candidates[start:start + EVAL_BATCH]
+            names = tuple(
+                c.name if c.atoms else "honest" for c in batch
+            )
+            # The empty deviation *is* the baseline: score it from the
+            # cached records instead of re-running the honest grid.
+            fresh = tuple(
+                name for name in dict.fromkeys(names) if name != "honest"
+            )
+            grouped = (
+                self._grouped_records(k, t, fresh) if fresh else {}
+            )
+            grouped["honest"] = baseline
+            for candidate, name in zip(batch, names):
+                scores.append(
+                    self._score(candidate, grouped.get(name, {}), baseline)
+                )
+        return scores
+
+    # -- search drivers ------------------------------------------------------
+
+    def _search_exhaustive(self, space, budget: int, k: int, t: int):
+        out = []
+        for index, candidate in enumerate(space.candidates()):
+            if index >= budget:
+                break
+            out.append(candidate)
+        return self.evaluate(out, k=k, t=t)
+
+    def _search_random(
+        self, space, budget: int, rng, k: int, t: int
+    ) -> list[CandidateScore]:
+        seen: set[str] = set()
+        picked: list[CandidateDeviation] = []
+        attempts = 0
+        cap = min(budget, space.size())
+        while len(picked) < cap and attempts < budget * 10:
+            attempts += 1
+            candidate = space.sample(rng)
+            if candidate is None:
+                break
+            if candidate.name in seen:
+                continue
+            seen.add(candidate.name)
+            picked.append(candidate)
+        return self.evaluate(picked, k=k, t=t)
+
+    def _search_greedy(
+        self, space, budget: int, rng, k: int, t: int
+    ) -> list[CandidateScore]:
+        scores: dict[str, CandidateScore] = {}
+
+        def spend(candidates: list[CandidateDeviation]) -> None:
+            fresh = [c for c in candidates if c.name not in scores]
+            remaining = budget - len(scores)
+            for candidate, score in zip(
+                fresh[:remaining],
+                self.evaluate(fresh[:remaining], k=k, t=t),
+            ):
+                scores[candidate.name] = score
+
+        seed_size = max(2, min(budget // 4, 8))
+        seeds: list[CandidateDeviation] = []
+        attempts = 0
+        while len(seeds) < min(seed_size, space.size()) and attempts < 50:
+            attempts += 1
+            candidate = space.sample(rng)
+            if candidate is not None and candidate not in seeds:
+                seeds.append(candidate)
+        spend(seeds)
+        if not scores:
+            return []
+
+        def best_name() -> str:
+            ranked = sorted(
+                (s for s in scores.values() if s.scored),
+                key=lambda s: (-s.gain, s.candidate),
+            )
+            return ranked[0].candidate if ranked else next(iter(scores))
+
+        current = best_name()
+        while len(scores) < budget:
+            neighborhood = space.neighbors(
+                candidate_from_name(current), rng, limit=8
+            )
+            fresh = [c for c in neighborhood if c.name not in scores]
+            if not fresh:
+                # Local optimum: restart from a fresh random sample.
+                restart = space.sample(rng)
+                if restart is None or restart.name in scores:
+                    break
+                fresh = [restart]
+            spend(fresh)
+            improved = best_name()
+            if improved == current:
+                break
+            current = improved
+        return list(scores.values())
+
+    # -- cells ---------------------------------------------------------------
+
+    def run_cell(self, k: Optional[int] = None, t: Optional[int] = None) -> FrontierCell:
+        """Audit one (k, t) cell: search the space, report the frontier point."""
+        k = self.k if k is None else k
+        t = self.t if t is None else t
+        spec = self.spec
+        start = time.perf_counter()
+        space = self.strategy_space(k, t)
+        method = spec.method
+        if method == "auto":
+            method = "exhaustive" if space.size() <= spec.budget else "greedy"
+        try:
+            self.baseline(k, t)
+        except _CellError as exc:
+            return FrontierCell(
+                k=k, t=t, epsilon=self.epsilon, tolerance=spec.tolerance,
+                method=method, space_size=space.size(), error=str(exc),
+                elapsed_s=time.perf_counter() - start,
+            )
+        rng = random.Random(f"audit:{spec.name}:{spec.seed}:{k}:{t}")
+        if method == "exhaustive":
+            scores = self._search_exhaustive(space, spec.budget, k, t)
+        elif method == "random":
+            scores = self._search_random(space, spec.budget, rng, k, t)
+        else:
+            scores = self._search_greedy(space, spec.budget, rng, k, t)
+        ranked = sorted(
+            (s for s in scores if s.scored),
+            key=lambda s: (-s.gain, s.candidate),
+        )
+        best = ranked[0] if ranked else None
+        max_gain = best.gain if best is not None else 0.0
+        return FrontierCell(
+            k=k,
+            t=t,
+            epsilon=self.epsilon,
+            tolerance=spec.tolerance,
+            method=method,
+            space_size=space.size(),
+            evaluated=len(scores),
+            max_gain=max_gain,
+            robust=max_gain <= self.epsilon + spec.tolerance,
+            best=best,
+            top=tuple(ranked[:spec.top]),
+            elapsed_s=time.perf_counter() - start,
+        )
+
+    def honest_score(
+        self, k: Optional[int] = None, t: Optional[int] = None
+    ) -> CandidateScore:
+        """Score the empty deviation — must come back with gain exactly 0."""
+        return self.evaluate([HONEST_CANDIDATE], k=k, t=t)[0]

@@ -8,7 +8,12 @@ Commands:
 * ``sweep`` — run one or more scenario grids (optionally in parallel) and
   print aggregate tables (JSON with ``--json``, flat per-cell CSV rows
   with ``--csv``);
-* ``scenarios`` — list the scenario registry (``--json`` for specs);
+* ``scenarios`` — list the scenario registry (``--json`` for specs, each
+  augmented with its run mode and supported deviation profiles);
+* ``audit`` — robustness audits: ``audit list`` shows the canonical
+  audits, ``audit run`` searches one (k,t) cell for profitable deviations,
+  ``audit frontier`` sweeps the (k,t,ε) frontier (both take ``--json`` /
+  ``--csv``);
 * ``demo`` — run the quickstart pipeline (mediator vs cheap talk) on a
   chosen library game;
 * ``games`` — list the game library with its certified properties;
@@ -55,14 +60,24 @@ def cmd_games(args) -> None:
 
 
 def cmd_scenarios(args) -> None:
-    from repro.experiments import iter_scenarios
+    from repro.experiments import (
+        MODE_FOR_THEOREM,
+        deviations_for_mode,
+        iter_scenarios,
+    )
 
     if getattr(args, "json", False):
-        print(json.dumps(
-            [spec.to_dict() for spec in iter_scenarios()],
-            indent=2,
-            sort_keys=True,
-        ))
+        entries = []
+        for spec in iter_scenarios():
+            mode = MODE_FOR_THEOREM[spec.theorem]
+            entries.append({
+                **spec.to_dict(),
+                # Derived, audit-facing metadata (ScenarioSpec.from_dict
+                # drops these on parse, so the entries still round-trip):
+                "mode": mode,
+                "supported_deviations": deviations_for_mode(mode),
+            })
+        print(json.dumps(entries, indent=2, sort_keys=True))
         return
     rows = [
         (
@@ -104,15 +119,22 @@ def _resolve_scenarios(args):
 
 
 def _write_csv(path: str, results) -> None:
+    """Write results (ExperimentResult or AuditResult) as flat CSV rows."""
     import csv
-
-    from repro.experiments import ExperimentResult
 
     with open(path, "w", newline="") as fh:
         writer = csv.writer(fh)
-        writer.writerow(ExperimentResult.CSV_FIELDS)
+        writer.writerow(type(results[0]).CSV_FIELDS)
         for result in results:
             writer.writerows(result.csv_rows())
+
+
+def _print_json(results) -> None:
+    if len(results) == 1:
+        print(results[0].to_json(indent=2))
+    else:
+        print(json.dumps([r.to_dict() for r in results], indent=2,
+                         sort_keys=True))
 
 
 def _print_result(result, per_run: bool) -> None:
@@ -174,11 +196,7 @@ def _run_and_report(args, per_run: bool) -> None:
         total = sum(len(r.records) for r in results)
         print(f"wrote {total} rows to {args.csv}", file=sys.stderr)
     if args.json:
-        if len(results) == 1:
-            print(results[0].to_json(indent=2))
-        else:
-            print(json.dumps([r.to_dict() for r in results], indent=2,
-                             sort_keys=True))
+        _print_json(results)
         return
     for result in results:
         _print_result(result, per_run=per_run)
@@ -279,6 +297,142 @@ def cmd_attack(args) -> None:
     print("\nequilibrium payoff is 1.5; leaky converts 1.0-runs into 1.1.")
 
 
+def _resolve_audits(args):
+    from repro.audit import get_audit
+
+    overrides = {}
+    if getattr(args, "seeds", None) is not None:
+        overrides["seed_count"] = args.seeds
+    if getattr(args, "budget", None) is not None:
+        overrides["budget"] = args.budget
+    if getattr(args, "method", None):
+        overrides["method"] = args.method
+    specs = []
+    for name in args.audits:
+        try:
+            specs.append(get_audit(name).replace(**overrides))
+        except ExperimentError as exc:
+            sys.exit(str(exc))
+    return specs
+
+
+def _print_audit(result, per_candidate: bool) -> None:
+    from repro.audit import AuditResult
+
+    spec = result.spec
+    mode = "parallel" if result.parallel else "serial"
+    print(
+        f"\n== audit {spec.name} — scenario {spec.scenario} "
+        f"[{len(result.cells)} cell(s), {result.evaluations()} evaluations, "
+        f"{mode}, {result.elapsed_s:.1f}s] =="
+    )
+    print(format_table(AuditResult.SUMMARY_HEADERS, result.summary_rows()))
+    if per_candidate:
+        for cell in result.cells:
+            if not cell.top:
+                continue
+            print(f"\ntop deviations at (k={cell.k}, t={cell.t}):")
+            rows = [
+                (
+                    f"{score.gain:+.4f}",
+                    f"{score.outsider_harm:+.4f}",
+                    f"{score.failures}/{score.runs}",
+                    score.label,
+                )
+                for score in cell.top
+            ]
+            print(format_table(
+                ["coalition gain", "outsider harm", "failed", "deviation"],
+                rows,
+            ))
+    agg = result.aggregate()
+    verdict = "ROBUST" if agg["robust"] else "NOT ROBUST"
+    print(
+        f"\nverdict: {verdict} — max observed coalition gain "
+        f"{agg['max_gain']:+.4f} over {agg['evaluations']} evaluated "
+        f"deviations"
+    )
+
+
+def _audit_and_report(args, results) -> None:
+    if getattr(args, "csv", None):
+        _write_csv(args.csv, results)
+        total = sum(len(r.cells) for r in results)
+        print(f"wrote {total} cell rows to {args.csv}", file=sys.stderr)
+    if args.json:
+        _print_json(results)
+        return
+    for result in results:
+        _print_audit(result, per_candidate=True)
+
+
+def cmd_audit_list(args) -> None:
+    from repro.audit import iter_audits
+
+    if getattr(args, "json", False):
+        print(json.dumps(
+            [spec.to_dict() for spec in iter_audits()],
+            indent=2,
+            sort_keys=True,
+        ))
+        return
+    rows = [
+        (
+            spec.name,
+            spec.scenario,
+            spec.method,
+            spec.budget,
+            ",".join(spec.atoms) if spec.atoms else "(all)",
+            spec.description,
+        )
+        for spec in iter_audits()
+    ]
+    print(format_table(
+        ["audit", "scenario", "method", "budget", "atoms", "description"],
+        rows,
+    ))
+
+
+def cmd_audit_run(args) -> None:
+    from repro.audit import run_audit
+
+    specs = _resolve_audits(args)
+    try:
+        results = [
+            run_audit(
+                spec,
+                parallel=args.parallel,
+                processes=args.processes,
+                timeout_s=args.timeout,
+            )
+            for spec in specs
+        ]
+    except ExperimentError as exc:
+        sys.exit(str(exc))
+    _audit_and_report(args, results)
+
+
+def cmd_audit_frontier(args) -> None:
+    from repro.audit import run_frontier
+
+    specs = _resolve_audits(args)
+    try:
+        results = [
+            run_frontier(
+                spec,
+                ks=range(1, args.k_max + 1) if args.k_max is not None else None,
+                ts=range(0, args.t_max + 1) if args.t_max is not None else None,
+                parallel=args.parallel,
+                processes=args.processes,
+                timeout_s=args.timeout,
+            )
+            for spec in specs
+        ]
+    except ExperimentError as exc:
+        sys.exit(str(exc))
+    _audit_and_report(args, results)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -330,6 +484,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--csv", default=None, metavar="PATH",
                          help="also write per-cell summary rows as CSV")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_audit = sub.add_parser(
+        "audit", help="search for profitable deviations (robustness audits)"
+    )
+    audit_sub = p_audit.add_subparsers(dest="audit_command", required=True)
+
+    def audit_options(p):
+        p.add_argument("audits", nargs="+", metavar="audit",
+                       help="registered audit name(s); see `audit list`")
+        p.add_argument("--parallel", action="store_true",
+                       help="fan candidate evaluation out over a process pool")
+        p.add_argument("--processes", type=int, default=None)
+        p.add_argument("--timeout", type=float, default=None,
+                       help="per-run timeout in seconds")
+        p.add_argument("--seeds", type=int, default=None,
+                       help="override the audit's seed count")
+        p.add_argument("--budget", type=int, default=None,
+                       help="override the audit's evaluation budget")
+        p.add_argument("--method", default=None,
+                       choices=("auto", "exhaustive", "random", "greedy"),
+                       help="override the audit's search method")
+        p.add_argument("--json", action="store_true",
+                       help="emit AuditResult JSON instead of tables")
+        p.add_argument("--csv", default=None, metavar="PATH",
+                       help="also write per-cell frontier rows as CSV")
+
+    p_audit_list = audit_sub.add_parser("list", help="list registered audits")
+    p_audit_list.add_argument("--json", action="store_true",
+                              help="emit the registry as AuditSpec JSON")
+    p_audit_list.set_defaults(func=cmd_audit_list)
+
+    p_audit_run = audit_sub.add_parser(
+        "run", help="audit one (k,t) cell with top-deviation rows"
+    )
+    audit_options(p_audit_run)
+    p_audit_run.set_defaults(func=cmd_audit_run)
+
+    p_audit_frontier = audit_sub.add_parser(
+        "frontier", help="sweep the (k,t,ε) robustness frontier"
+    )
+    audit_options(p_audit_frontier)
+    p_audit_frontier.add_argument("--k-max", type=int, default=None,
+                                  help="sweep k from 1 to K (default: the "
+                                       "audit's k)")
+    p_audit_frontier.add_argument("--t-max", type=int, default=None,
+                                  help="sweep t from 0 to T (default: the "
+                                       "audit's t)")
+    p_audit_frontier.set_defaults(func=cmd_audit_frontier)
 
     p_demo = sub.add_parser("demo", help="mediator vs cheap talk")
     common(p_demo)

@@ -39,8 +39,11 @@ from repro.experiments.schedulers import (
     scheduler_names,
 )
 from repro.experiments.deviations import (
+    MODE_FOR_THEOREM,
+    deviation_modes,
     deviation_names,
     deviation_profile,
+    deviations_for_mode,
     register_deviation,
 )
 
@@ -62,7 +65,10 @@ __all__ = [
     "scheduler_from_name",
     "scheduler_names",
     "register_scheduler",
+    "MODE_FOR_THEOREM",
+    "deviation_modes",
     "deviation_names",
     "deviation_profile",
+    "deviations_for_mode",
     "register_deviation",
 ]

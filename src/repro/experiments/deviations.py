@@ -6,7 +6,15 @@ concrete per-player deviation factories of
 two run modes — mediator-game deviations take ``(pid, own_type)``,
 cheap-talk deviations take ``(pid, own_type, config)`` — so every profile
 declares which modes it supports and the runner resolves the mode from the
-scenario's theorem.
+scenario's theorem. Resolved profiles are wrapped in
+:class:`~repro.analysis.deviations.UniformDeviation`, giving every factory
+one call shape regardless of its native arity.
+
+Besides registered names, ``audit:{…}`` names are accepted: they carry a
+serialized :class:`~repro.audit.strategy_space.CandidateDeviation` and are
+materialized on the fly, which is how the audit engine evaluates searched
+candidates through ordinary scenario grids (including across
+``multiprocessing`` workers — the name is plain data).
 """
 
 from __future__ import annotations
@@ -47,8 +55,41 @@ def deviation_names() -> list[str]:
     return sorted(_PROFILES)
 
 
+def deviation_modes(name: str) -> tuple[str, ...]:
+    """The run modes a registered profile supports."""
+    try:
+        modes, _ = _PROFILES[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown deviation profile {name!r}; known profiles: "
+            f"{', '.join(deviation_names())}"
+        ) from None
+    return tuple(sorted(modes))
+
+
+def deviations_for_mode(mode: str) -> list[str]:
+    """All registered profile names available in ``mode`` runs."""
+    return sorted(
+        name for name, (modes, _) in _PROFILES.items() if mode in modes
+    )
+
+
 def deviation_profile(name: str, spec: GameSpec, k: int, t: int, mode: str) -> dict:
-    """Resolve profile ``name`` into ``{pid: factory}`` for ``mode``."""
+    """Resolve profile ``name`` into ``{pid: factory}`` for ``mode``.
+
+    Every factory is wrapped in the uniform-arity adapter, so the returned
+    profile works unchanged in both the mediator and cheap-talk run paths.
+    """
+    from repro.analysis.deviations import unify_profile
+
+    if name.startswith("audit:"):
+        from repro.audit.strategy_space import candidate_from_name
+
+        if mode not in ("cheaptalk", "mediator"):
+            raise ExperimentError(
+                f"audit deviations are not available for {mode!r} runs"
+            )
+        return candidate_from_name(name).build(spec, mode)
     try:
         modes, builder = _PROFILES[name]
     except KeyError:
@@ -61,7 +102,7 @@ def deviation_profile(name: str, spec: GameSpec, k: int, t: int, mode: str) -> d
             f"deviation profile {name!r} is not available for "
             f"{mode!r} runs (supports: {', '.join(sorted(modes))})"
         )
-    return builder(spec, k, t, mode)
+    return unify_profile(builder(spec, k, t, mode))
 
 
 @register_deviation("honest", ("cheaptalk", "mediator", "none"))

@@ -208,6 +208,38 @@ register_scenario(ScenarioSpec(
 ))
 
 register_scenario(ScenarioSpec(
+    name="sec64-leaky-honest",
+    game="section64",
+    n=7,
+    theorem="mediator",
+    k=2,
+    t=0,
+    mediator_variant="leaky-sec64",
+    schedulers=("colluding",),
+    deviations=("honest",),
+    seed_count=10,
+    description="Sec 6.4 leaky mediator, honest play under the colluding "
+                "environment — the audit baseline the searched coalition "
+                "attack must beat.",
+))
+
+register_scenario(ScenarioSpec(
+    name="sec64-minimal-honest",
+    game="section64",
+    n=7,
+    theorem="mediator",
+    k=2,
+    t=0,
+    mediator_variant="minimal-sec64",
+    schedulers=("colluding",),
+    deviations=("honest",),
+    seed_count=10,
+    description="Sec 6.4 minimally-informative mediator, honest play — the "
+                "audit baseline against which no searched deviation "
+                "profits.",
+))
+
+register_scenario(ScenarioSpec(
     name="sec64-minimal-defense",
     game="section64",
     n=7,

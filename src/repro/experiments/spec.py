@@ -131,8 +131,14 @@ class ScenarioSpec:
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
 
+    DERIVED_FIELDS = ("mode", "supported_deviations")
+    """Read-only keys ``repro scenarios --json`` adds alongside the spec
+    fields (run mode and the deviation profiles available to it); dropped
+    on parse so the emitted JSON still round-trips through ``from_dict``."""
+
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioSpec":
+        data = {k: v for k, v in data.items() if k not in cls.DERIVED_FIELDS}
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(data) - known
         if unknown:

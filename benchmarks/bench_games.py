@@ -1,0 +1,69 @@
+"""E14 — the declarative game layer: construction and sweep throughput.
+
+Claims regenerated (through the GameDef DSL and game families):
+
+* every ``consensus@n`` family instance compiles from pure data to a
+  ``GameSpec`` whose ideal-mediator sweep coordinates perfectly at every
+  size — game-size scanning is one ``games``-axis grid, not n scripts;
+* seeded random games (``random@n4s<seed>``) rebuild deterministically
+  from their name alone and run through the ordinary experiment runner;
+* construction cost stays negligible next to simulation cost (the DSL
+  compiles declarative payoff expressions/tables once per build).
+
+The benchmark payload is game construction plus the one-sweep
+``consensus-scaling`` grid (n ∈ {3, 5, 7, 9}), which is what the CI smoke
+step times and uploads as ``bench_games.json``.
+"""
+
+from conftest import report
+
+from repro.experiments import ExperimentRunner, get_scenario
+from repro.games.registry import make_game
+
+SIZES = (3, 5, 7, 9)
+
+
+def _construct_games() -> list:
+    specs = [make_game(f"consensus@n{n}", 0) for n in SIZES]
+    specs.extend(make_game(f"random@n4s{seed}", 0) for seed in range(4))
+    return specs
+
+
+def _one_sweep():
+    return ExperimentRunner().run(get_scenario("consensus-scaling"))
+
+
+def test_game_families(benchmark):
+    rows = []
+
+    for n in SIZES:
+        spec = make_game(f"consensus@n{n}", 0)
+        assert spec.game.n == n
+        assert spec.definition is not None
+        rows.append(
+            f"consensus@n{n}: {len(spec.game.action_profiles())} action "
+            f"profiles, GameDef JSON {len(spec.definition.to_json())} bytes"
+        )
+
+    result = _one_sweep()
+    assert all(record.ok for record in result.records)
+    for row in result.summary_rows():
+        game, payoff = row[0], row[-1]
+        assert payoff == "1.000"
+        rows.append(f"scaling sweep {game}: mean payoff {payoff}")
+
+    random_spec = make_game("random@n4s123", 0)
+    rebuilt = make_game("random@n4s123", 0)
+    assert random_spec.definition == rebuilt.definition
+    rows.append(
+        f"random@n4s123 rebuilds identically from its name "
+        f"({len(random_spec.definition.to_json())} bytes of table data)"
+    )
+
+    report("E14 declarative game layer (construction + one-sweep)", rows)
+
+    def payload():
+        _construct_games()
+        return _one_sweep()
+
+    benchmark(payload)

@@ -65,6 +65,10 @@ __all__ = [
     "timing_from_name",
     "make_game",
     "register_game",
+    "GameDef",
+    "register_family",
+    "family_names",
+    "random_game_def",
     "ScenarioSpec",
     "RunRecord",
     "ExperimentResult",
@@ -80,6 +84,7 @@ __all__ = [
     "get_audit",
     "register_audit",
     "audit_names",
+    "run_fuzz",
 ]
 
 _SIM_EXPORTS = (
@@ -94,6 +99,12 @@ _SIM_EXPORTS = (
     "timing_from_name",
 )
 _GAME_REGISTRY_EXPORTS = ("make_game", "register_game")
+_GAME_DSL_EXPORTS = (
+    "GameDef",
+    "register_family",
+    "family_names",
+    "random_game_def",
+)
 _EXPERIMENT_EXPORTS = (
     "ScenarioSpec",
     "RunRecord",
@@ -112,6 +123,7 @@ _AUDIT_EXPORTS = (
     "get_audit",
     "register_audit",
     "audit_names",
+    "run_fuzz",
 )
 
 
@@ -146,6 +158,10 @@ def __getattr__(name):
         from repro.games import registry
 
         return getattr(registry, name)
+    if name in _GAME_DSL_EXPORTS:
+        from repro import games
+
+        return getattr(games, name)
     if name in _EXPERIMENT_EXPORTS:
         from repro import experiments
 

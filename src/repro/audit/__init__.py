@@ -54,6 +54,13 @@ from repro.audit.registry import (
 )
 from repro.audit.search import AuditEngine, CandidateScore, FrontierCell
 from repro.audit.frontier import AuditResult, run_audit, run_frontier
+from repro.audit.fuzz import (
+    FUZZ_SCENARIO,
+    fuzz_audit_spec,
+    fuzz_game_names,
+    fuzz_summary,
+    run_fuzz,
+)
 
 __all__ = [
     "ATOM_MODES",
@@ -65,6 +72,7 @@ __all__ = [
     "CandidateScore",
     "Coalition",
     "DeviationAtom",
+    "FUZZ_SCENARIO",
     "FrontierCell",
     "HONEST_CANDIDATE",
     "SEARCH_METHODS",
@@ -74,9 +82,13 @@ __all__ = [
     "candidate_from_name",
     "coalition_signature",
     "enumerate_coalitions",
+    "fuzz_audit_spec",
+    "fuzz_game_names",
+    "fuzz_summary",
     "get_audit",
     "iter_audits",
     "register_audit",
     "run_audit",
     "run_frontier",
+    "run_fuzz",
 ]

@@ -1,0 +1,120 @@
+"""Generated-game fuzzing: robustness search on games nobody hand-wrote.
+
+The audit engine of :mod:`repro.audit.search` scores deviations against a
+*fixed* scenario; this module points it at streams of seeded random games
+(the ``random@n<..>s<..>`` family of :mod:`repro.games.families`). Each
+fuzz target stamps a generated game name into the ``game`` override of an
+:class:`~repro.audit.registry.AuditSpec` built from the ``mediator-fuzz``
+scenario template, so one fuzz campaign is just a list of ordinary audits
+— parallel evaluation, per-run timeouts, JSON round-trip, and parallel ==
+serial determinism all come from the existing machinery, and any finding
+is reproducible from the game name alone (``repro audit run
+mediator-fuzz-audit --game random@n4s123``).
+
+A campaign's verdicts are *descriptive*, not a pass/fail: random games
+have no theorem promising robustness, so the interesting output is the
+frontier — which generated games admit profitable coalition deviations,
+and by how much.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.audit.frontier import AuditResult, run_audit
+from repro.audit.registry import AuditSpec
+from repro.errors import ExperimentError
+
+FUZZ_SCENARIO = "mediator-fuzz"
+"""The scenario template fuzz audits override the game of."""
+
+
+def fuzz_game_names(
+    count: int = 4, seed: int = 0, n: int = 4, actions: int = 2, types: int = 1
+) -> tuple[str, ...]:
+    """The generated-game names of a fuzz campaign (seeds ``seed..+count``)."""
+    if count < 1:
+        raise ExperimentError("fuzz needs count >= 1")
+    suffix = "" if types == 1 else f"m{types}"
+    return tuple(
+        f"random@n{n}s{seed + i}a{actions}{suffix}" for i in range(count)
+    )
+
+
+def fuzz_audit_spec(
+    game: str,
+    k: int = 1,
+    t: int = 0,
+    budget: int = 32,
+    seed_count: int = 3,
+    method: str = "auto",
+    scenario: str = FUZZ_SCENARIO,
+) -> AuditSpec:
+    """One fuzz target: the scenario template with ``game`` stamped in."""
+    return AuditSpec(
+        name=f"fuzz:{game}",
+        scenario=scenario,
+        game=game,
+        k=k,
+        t=t,
+        budget=budget,
+        seed_count=seed_count,
+        method=method,
+        description=f"Generated-game fuzz target {game}.",
+    )
+
+
+def run_fuzz(
+    count: int = 4,
+    seed: int = 0,
+    n: int = 4,
+    actions: int = 2,
+    types: int = 1,
+    k: int = 1,
+    t: int = 0,
+    budget: int = 32,
+    seed_count: int = 3,
+    method: str = "auto",
+    games: Optional[Sequence[str]] = None,
+    parallel: bool = False,
+    processes: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+) -> list[AuditResult]:
+    """Audit a stream of generated games; one :class:`AuditResult` each.
+
+    ``games`` overrides the generated name stream with explicit game
+    names (family instances or ``file:`` paths) — the driver then fuzzes
+    exactly those.
+    """
+    names = (
+        tuple(games) if games is not None
+        else fuzz_game_names(count, seed, n, actions, types)
+    )
+    return [
+        run_audit(
+            fuzz_audit_spec(
+                game, k=k, t=t, budget=budget, seed_count=seed_count,
+                method=method,
+            ),
+            parallel=parallel,
+            processes=processes,
+            timeout_s=timeout_s,
+        )
+        for game in names
+    ]
+
+
+def fuzz_summary(results: Sequence[AuditResult]) -> dict:
+    """Campaign aggregate: how many generated games resisted the search."""
+    aggregates = [result.aggregate() for result in results]
+    worst = None
+    for agg in aggregates:
+        if worst is None or agg["max_gain"] > worst["max_gain"]:
+            worst = agg
+    return {
+        "games": len(aggregates),
+        "robust": sum(1 for a in aggregates if a["robust"]),
+        "evaluations": sum(a["evaluations"] for a in aggregates),
+        "max_gain": worst["max_gain"] if worst else 0.0,
+        "worst_game": worst["audit"] if worst else None,
+    }

@@ -50,6 +50,13 @@ class AuditSpec:
 
     name: str
     scenario: str
+    game: Optional[str] = None
+    """Override the base scenario's game — a registry name, a
+    ``family@params`` instance, or a ``file:<path>`` GameDef file. This is
+    what lets one scenario template audit many games: ``repro audit
+    fuzz`` stamps seeded ``random@…`` names here, and ``repro audit run
+    --game`` audits user-defined games."""
+
     k: Optional[int] = None
     t: Optional[int] = None
     epsilon: Optional[float] = None
@@ -71,6 +78,19 @@ class AuditSpec:
         object.__setattr__(self, "stall_limits", _tuplize(self.stall_limits))
         object.__setattr__(self, "schedulers", _tuplize(self.schedulers))
         object.__setattr__(self, "timings", _tuplize(self.timings))
+        if self.game is not None:
+            if not isinstance(self.game, str) or not self.game:
+                raise ExperimentError(
+                    f"audit game override must be a name, got {self.game!r}"
+                )
+            from repro.errors import GameError
+            from repro.games.families import is_family_name, parse_game_name
+
+            if is_family_name(self.game):
+                try:
+                    parse_game_name(self.game)
+                except GameError as exc:
+                    raise ExperimentError(str(exc)) from None
         if self.method not in SEARCH_METHODS:
             raise ExperimentError(
                 f"unknown search method {self.method!r}; one of: "
@@ -242,6 +262,18 @@ register_audit(AuditSpec(
     tolerance=0.05,
     description="Byzantine agreement through Thm 4.1: type misreports, "
                 "lying shares and silence all searched — none profit.",
+))
+
+register_audit(AuditSpec(
+    name="mediator-fuzz-audit",
+    scenario="mediator-fuzz",
+    schedulers=("fifo",),
+    seed_count=3,
+    budget=32,
+    tolerance=0.05,
+    description="Generated-game fuzz template: audits the mediator-fuzz "
+                "scenario's seeded random game; `repro audit fuzz` (and "
+                "`--game random@n4s123`) swap the game per target.",
 ))
 
 register_audit(AuditSpec(

@@ -150,6 +150,15 @@ class AuditEngine:
 
         self.spec = spec
         self.base = get_scenario(spec.scenario)
+        if spec.game is not None:
+            # The audit's game override wins over the scenario template
+            # (and collapses any games axis the template declares).
+            self.base = self.base.replace(game=spec.game, games=())
+        elif self.base.games:
+            raise ExperimentError(
+                f"scenario {self.base.name!r} sweeps a games axis; audits "
+                "score one game at a time — set the audit's `game` override"
+            )
         self.mode = MODE_FOR_THEOREM[self.base.theorem]
         if self.mode == "none":
             raise ExperimentError(
@@ -159,6 +168,9 @@ class AuditEngine:
             )
         self.runner = runner or ExperimentRunner()
         self.game_spec = make_game(self.base.game, self.base.n)
+        # The built game's size wins over the scenario's nominal ``n``:
+        # family params (consensus@n3) and file: games size themselves.
+        self.n = self.game_spec.game.n
         self.types = (
             self.base.type_profile
             if self.base.type_profile is not None
@@ -203,7 +215,7 @@ class AuditEngine:
             for i, realized in enumerate(self.types)
         )
         coalitions = enumerate_coalitions(
-            self.base.n, k, t, types=signature_types,
+            self.n, k, t, types=signature_types,
             symmetry=self.spec.symmetry,
         )
         return StrategySpace(
@@ -255,7 +267,7 @@ class AuditEngine:
             if record.ok and key in baseline and baseline[key].ok
         ]
         failures = sum(1 for record in runs.values() if not record.ok)
-        outsiders = candidate.coalition.outsiders(self.base.n)
+        outsiders = candidate.coalition.outsiders(self.n)
         if not pairs:
             return CandidateScore(
                 candidate=candidate.name,

@@ -16,7 +16,12 @@ Commands:
   ``--csv``);
 * ``demo`` — run the quickstart pipeline (mediator vs cheap talk) on a
   chosen library game;
-* ``games`` — list the game library with its certified properties;
+* ``games`` — the game library: ``games list`` shows registered games and
+  parameterized families (``--json`` mirrors ``scenarios --json`` with
+  player counts, type-space sizes, and punishment availability);
+  ``games show <name>`` prints one game's detail, including its
+  declarative ``GameDef`` JSON when the game is defined as data
+  (``consensus@n5``, ``random@n4s123``, ``file:my_game.json`` all work);
 * ``check`` — run the exact ideal-mediator robustness checker on a game;
 * ``compile`` — compile a game through one of the four theorems and run it;
 * ``attack`` — mount the Section 6.4 leak attack (leaky vs minimal).
@@ -47,16 +52,104 @@ def _spec(args):
         sys.exit(str(exc))
 
 
-def cmd_games(args) -> None:
-    rows = []
+def _game_entry(name: str, spec) -> dict:
+    """The JSON summary of one built game (``games list/show --json``)."""
+    game = spec.game
+    definition = spec.definition
+    return {
+        "name": name,
+        "game": game.name,
+        "players": game.n,
+        "type_profiles": len(game.type_space.profiles()),
+        "type_space_sizes": [
+            len(game.type_space.player_types(i)) for i in range(game.n)
+        ],
+        "action_set_sizes": [len(a) for a in game.action_sets],
+        "has_punishment": spec.punishment is not None,
+        "punishment_strength": spec.punishment_strength,
+        "has_default_moves": spec.default_moves is not None,
+        "mediator_rule": (
+            definition.mediator.get("rule") if definition is not None else None
+        ),
+        "has_definition": definition is not None,
+        "notes": spec.notes,
+    }
+
+
+def cmd_games_list(args) -> None:
+    from repro.games.families import iter_families
+
+    entries = []
     for name, maker in iter_games():
         try:
             spec = maker(args.n)
         except Exception as exc:  # some games pin their own n
-            rows.append((name, "-", f"(n={args.n} unsupported: {exc})"))
+            entries.append({"name": name, "error": f"n={args.n}: {exc}"})
             continue
-        rows.append((name, spec.game.n, spec.notes))
-    print(format_table(["game", "n", "notes"], rows))
+        entries.append(_game_entry(name, spec))
+    families = [
+        {
+            "family": name,
+            "params": params,
+            "example": f"{name}@" + "".join(
+                f"{k}{v}" for k, v in params.items()
+            ),
+        }
+        for name, params in iter_families()
+    ]
+    if getattr(args, "json", False):
+        print(json.dumps(
+            {"games": entries, "families": families},
+            indent=2,
+            sort_keys=True,
+        ))
+        return
+    rows = []
+    for e in entries:
+        if "error" in e:
+            rows.append((e["name"], "-", "-", "-", "-", f"({e['error']})"))
+            continue
+        rows.append((
+            e["name"],
+            e["players"],
+            "x".join(str(s) for s in e["type_space_sizes"]),
+            "x".join(str(s) for s in e["action_set_sizes"]),
+            "yes" if e["has_punishment"] else "no",
+            e["notes"],
+        ))
+    print(format_table(
+        ["game", "n", "types", "actions", "punish", "notes"], rows
+    ))
+    print("\nparameterized families (use as game names, e.g. "
+          "`repro games show consensus@n5`):")
+    print(format_table(
+        ["family", "example"],
+        [(f["family"], f["example"]) for f in families],
+    ))
+
+
+def cmd_games_show(args) -> None:
+    try:
+        spec = make_game(args.name, args.n)
+    except GameError as exc:
+        sys.exit(str(exc))
+    entry = _game_entry(args.name, spec)
+    definition = spec.definition
+    if getattr(args, "json", False):
+        entry["definition"] = (
+            definition.to_dict() if definition is not None else None
+        )
+        print(json.dumps(entry, indent=2, sort_keys=True))
+        return
+    for key in (
+        "name", "game", "players", "type_profiles", "type_space_sizes",
+        "action_set_sizes", "has_punishment", "punishment_strength",
+        "has_default_moves", "mediator_rule", "notes",
+    ):
+        print(f"{key:20} {entry[key]}")
+    if definition is not None:
+        print("\nGameDef JSON:")
+        print(definition.to_json(indent=2))
 
 
 def cmd_scenarios(args) -> None:
@@ -110,6 +203,8 @@ def _resolve_scenarios(args):
                 spec = spec.replace(seed_count=args.seeds)
             if getattr(args, "timing", None):
                 spec = spec.replace(timings=(args.timing,))
+            if getattr(args, "game", None):
+                spec = spec.replace(game=args.game, games=())
             if getattr(args, "record_payloads", False):
                 spec = spec.replace(record_payloads=True)
         except ExperimentError as exc:
@@ -150,6 +245,7 @@ def _print_result(result, per_run: bool) -> None:
     if per_run:
         rows = [
             (
+                r.game or spec.game,
                 r.timing,
                 r.scheduler,
                 r.deviation,
@@ -162,8 +258,8 @@ def _print_result(result, per_run: bool) -> None:
             for r in result.records
         ]
         print(format_table(
-            ["timing", "scheduler", "deviation", "seed", "error", "actions",
-             "payoff", "messages"],
+            ["game", "timing", "scheduler", "deviation", "seed", "error",
+             "actions", "payoff", "messages"],
             rows,
         ))
         print()
@@ -307,6 +403,8 @@ def _resolve_audits(args):
         overrides["budget"] = args.budget
     if getattr(args, "method", None):
         overrides["method"] = args.method
+    if getattr(args, "game", None):
+        overrides["game"] = args.game
     specs = []
     for name in args.audits:
         try:
@@ -407,9 +505,63 @@ def cmd_audit_run(args) -> None:
             )
             for spec in specs
         ]
-    except ExperimentError as exc:
+    except (ExperimentError, GameError) as exc:
         sys.exit(str(exc))
     _audit_and_report(args, results)
+
+
+def cmd_audit_fuzz(args) -> None:
+    from repro.audit import fuzz_summary, run_fuzz
+
+    try:
+        results = run_fuzz(
+            count=args.count,
+            seed=args.seed,
+            n=args.n,
+            actions=args.actions,
+            types=args.types,
+            k=args.k,
+            t=args.t,
+            budget=args.budget if args.budget is not None else 32,
+            seed_count=args.seeds if args.seeds is not None else 3,
+            method=args.method or "auto",
+            games=args.games or None,
+            parallel=args.parallel,
+            processes=args.processes,
+            timeout_s=args.timeout,
+        )
+    except (ExperimentError, GameError) as exc:
+        sys.exit(str(exc))
+    if getattr(args, "csv", None):
+        _write_csv(args.csv, results)
+        total = sum(len(r.cells) for r in results)
+        print(f"wrote {total} cell rows to {args.csv}", file=sys.stderr)
+    if args.json:
+        _print_json(results)
+        return
+    rows = []
+    for result in results:
+        agg = result.aggregate()
+        cell = result.cells[0]
+        rows.append((
+            result.spec.game,
+            cell.method,
+            f"{cell.evaluated}/{cell.space_size}",
+            f"{agg['max_gain']:+.4f}",
+            "yes" if agg["robust"] else "NO",
+            cell.best.label if cell.best is not None else "-",
+        ))
+    print(format_table(
+        ["game", "method", "searched", "max gain", "robust",
+         "best deviation"],
+        rows,
+    ))
+    summary = fuzz_summary(results)
+    print(
+        f"\nfuzzed {summary['games']} generated game(s): "
+        f"{summary['robust']} robust, worst gain {summary['max_gain']:+.4f} "
+        f"({summary['worst_game']}) over {summary['evaluations']} evaluations"
+    )
 
 
 def cmd_audit_frontier(args) -> None:
@@ -428,7 +580,7 @@ def cmd_audit_frontier(args) -> None:
             )
             for spec in specs
         ]
-    except ExperimentError as exc:
+    except (ExperimentError, GameError) as exc:
         sys.exit(str(exc))
     _audit_and_report(args, results)
 
@@ -460,15 +612,47 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--timing", default=None, metavar="MODEL",
                        help="override the scenario's timing grid with one "
                             "model: async, lockstep, bounded-<d>[@<gst>]")
+        p.add_argument("--game", default=None, metavar="NAME",
+                       help="override the scenario's game (registry name, "
+                            "family@params like consensus@n5, or "
+                            "file:<path> to a GameDef JSON file)")
         p.add_argument("--record-payloads", action="store_true",
                        help="capture full traces (with payloads) into the "
                             "run records")
         p.add_argument("--json", action="store_true",
                        help="emit ExperimentResult JSON instead of tables")
 
-    p_games = sub.add_parser("games", help="list the game library")
+    p_games = sub.add_parser(
+        "games", help="the game library (list / show subcommands)"
+    )
     p_games.add_argument("-n", type=int, default=9)
-    p_games.set_defaults(func=cmd_games)
+    p_games.add_argument("--json", action="store_true",
+                         help="emit game metadata as JSON")
+    # Bare `repro games` keeps its historical behaviour: list.
+    p_games.set_defaults(func=cmd_games_list)
+    games_sub = p_games.add_subparsers(dest="games_command")
+
+    # SUPPRESS keeps the parent parser's already-parsed values
+    # (`repro games -n 5 list` and `repro games list -n 5` both work).
+    p_games_list = games_sub.add_parser(
+        "list", help="list registered games and parameterized families"
+    )
+    p_games_list.add_argument("-n", type=int, default=argparse.SUPPRESS)
+    p_games_list.add_argument("--json", action="store_true",
+                              default=argparse.SUPPRESS,
+                              help="emit game metadata as JSON")
+    p_games_list.set_defaults(func=cmd_games_list)
+
+    p_games_show = games_sub.add_parser(
+        "show", help="show one game (registry name, family@params, or "
+                     "file:<path>)"
+    )
+    p_games_show.add_argument("name")
+    p_games_show.add_argument("-n", type=int, default=argparse.SUPPRESS)
+    p_games_show.add_argument("--json", action="store_true",
+                              default=argparse.SUPPRESS,
+                              help="emit metadata plus the GameDef JSON")
+    p_games_show.set_defaults(func=cmd_games_show)
 
     p_scen = sub.add_parser("scenarios", help="list the scenario registry")
     p_scen.add_argument("--json", action="store_true",
@@ -505,6 +689,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--method", default=None,
                        choices=("auto", "exhaustive", "random", "greedy"),
                        help="override the audit's search method")
+        p.add_argument("--game", default=None, metavar="NAME",
+                       help="override the audited game (family@params or "
+                            "file:<path>)")
         p.add_argument("--json", action="store_true",
                        help="emit AuditResult JSON instead of tables")
         p.add_argument("--csv", default=None, metavar="PATH",
@@ -520,6 +707,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     audit_options(p_audit_run)
     p_audit_run.set_defaults(func=cmd_audit_run)
+
+    p_audit_fuzz = audit_sub.add_parser(
+        "fuzz", help="audit seeded random games nobody hand-wrote"
+    )
+    p_audit_fuzz.add_argument("--count", type=int, default=4,
+                              help="how many generated games to audit")
+    p_audit_fuzz.add_argument("--seed", type=int, default=0,
+                              help="first generation seed (games use "
+                                   "seed..seed+count-1)")
+    p_audit_fuzz.add_argument("-n", type=int, default=4,
+                              help="players per generated game")
+    p_audit_fuzz.add_argument("--actions", type=int, default=2,
+                              help="actions per player")
+    p_audit_fuzz.add_argument("--types", type=int, default=1,
+                              help="type values per player (1: complete "
+                                   "information)")
+    p_audit_fuzz.add_argument("-k", type=int, default=1)
+    p_audit_fuzz.add_argument("-t", type=int, default=0)
+    p_audit_fuzz.add_argument("--games", nargs="*", default=None,
+                              metavar="NAME",
+                              help="fuzz exactly these game names instead "
+                                   "of generating them")
+    p_audit_fuzz.add_argument("--parallel", action="store_true",
+                              help="fan candidate evaluation out over a "
+                                   "process pool")
+    p_audit_fuzz.add_argument("--processes", type=int, default=None)
+    p_audit_fuzz.add_argument("--timeout", type=float, default=None,
+                              help="per-run timeout in seconds")
+    p_audit_fuzz.add_argument("--seeds", type=int, default=None,
+                              help="run seeds per evaluation (default 3)")
+    p_audit_fuzz.add_argument("--budget", type=int, default=None,
+                              help="evaluation budget per game (default 32)")
+    p_audit_fuzz.add_argument("--method", default=None,
+                              choices=("auto", "exhaustive", "random",
+                                       "greedy"),
+                              help="search method (default auto)")
+    p_audit_fuzz.add_argument("--json", action="store_true",
+                              help="emit the AuditResult list as JSON")
+    p_audit_fuzz.add_argument("--csv", default=None, metavar="PATH",
+                              help="also write per-game frontier rows as CSV")
+    p_audit_fuzz.set_defaults(func=cmd_audit_fuzz)
 
     p_audit_frontier = audit_sub.add_parser(
         "frontier", help="sweep the (k,t,ε) robustness frontier"

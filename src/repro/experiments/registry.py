@@ -255,6 +255,35 @@ register_scenario(ScenarioSpec(
 ))
 
 register_scenario(ScenarioSpec(
+    name="consensus-scaling",
+    game="consensus",
+    n=9,
+    theorem="mediator",
+    k=1,
+    t=0,
+    games=("consensus@n3", "consensus@n5", "consensus@n7", "consensus@n9"),
+    schedulers=("fifo",),
+    deviations=("honest",),
+    seed_count=2,
+    description="The games axis scanning game size: the ideal consensus "
+                "mediator from n=3 to n=9 in one grid.",
+))
+
+register_scenario(ScenarioSpec(
+    name="mediator-fuzz",
+    game="random@n4s0",
+    n=4,
+    theorem="mediator",
+    k=1,
+    t=0,
+    schedulers=("fifo",),
+    deviations=("honest",),
+    seed_count=3,
+    description="Seeded random mediator game (the audit-fuzz baseline "
+                "template: `repro audit fuzz` swaps the game per seed).",
+))
+
+register_scenario(ScenarioSpec(
     name="byz-agreement-thm41",
     game="byz-agreement",
     n=9,

@@ -33,6 +33,9 @@ class RunRecord:
     deviation: str
     seed: int
     timing: str = "async"
+    game: str = ""
+    """The resolved game name this cell ran (a games-axis entry, a
+    ``family@params`` instance, or the spec's single ``game``)."""
     types: tuple = ()
     actions: tuple = ()
     payoffs: tuple = ()
@@ -147,13 +150,27 @@ class ExperimentResult:
         }
 
     def summary_rows(self) -> list[tuple]:
-        """Per-(timing, scheduler, deviation) rows for an aligned table."""
-        groups: dict[tuple[str, str, str], list[RunRecord]] = {}
+        """Per-(game, timing, scheduler, deviation) rows for a table.
+
+        The game column groups in spec order (a ``games`` axis sweeps in
+        the order the spec lists, e.g. ascending size), not
+        alphabetically.
+        """
+        order = {name: i for i, name in enumerate(self.spec.game_axis)}
+        groups: dict[tuple, list[RunRecord]] = {}
         for record in self.records:
-            key = (record.timing, record.scheduler, record.deviation)
+            game = record.game or self.spec.game
+            key = (
+                (order.get(game, len(order)), game),
+                record.timing,
+                record.scheduler,
+                record.deviation,
+            )
             groups.setdefault(key, []).append(record)
         rows = []
-        for (timing, scheduler, deviation), members in sorted(groups.items()):
+        for ((_, game), timing, scheduler, deviation), members in sorted(
+            groups.items()
+        ):
             ok = [r for r in members if r.ok]
             agreement = (
                 f"{sum(1 for r in ok if r.agreed) / len(ok):.2f}" if ok else "-"
@@ -162,6 +179,7 @@ class ExperimentResult:
             payoff = f"{mean(r.mean_payoff() for r in ok):.3f}" if ok else "-"
             rows.append(
                 (
+                    game,
                     timing,
                     scheduler,
                     deviation,
@@ -175,6 +193,7 @@ class ExperimentResult:
         return rows
 
     SUMMARY_HEADERS = (
+        "game",
         "timing",
         "scheduler",
         "deviation",
@@ -225,7 +244,7 @@ class ExperimentResult:
                 (
                     r.scenario,
                     r.theorem,
-                    spec.game,
+                    r.game or spec.game,
                     spec.n,
                     spec.k,
                     spec.t,

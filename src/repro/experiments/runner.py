@@ -45,10 +45,12 @@ class RunTask:
     index: int
     profile_index: Optional[int] = None
     timing: str = "async"
+    game: str = ""
+    """The game-axis entry this cell runs (empty: the spec's ``game``)."""
 
 
 def expand_grid(spec: ScenarioSpec) -> tuple[RunTask, ...]:
-    """Expand a spec into its ordered run tasks."""
+    """Expand a spec into its ordered run tasks (games axis outermost)."""
     if spec.theorem == "raw-game":
         if len(spec.schedulers) > 1 or tuple(spec.deviations) != ("honest",):
             raise ExperimentError(
@@ -62,7 +64,7 @@ def expand_grid(spec: ScenarioSpec) -> tuple[RunTask, ...]:
             )
         return tuple(
             RunTask("none", "honest", spec.seed_start, i, profile_index=i,
-                    timing="none")
+                    timing="none", game=spec.game)
             for i in range(len(spec.action_profiles))
         )
     if spec.theorem == "r1":
@@ -81,20 +83,23 @@ def expand_grid(spec: ScenarioSpec) -> tuple[RunTask, ...]:
                 "does not apply — leave the default single entry"
             )
         return tuple(
-            RunTask("sync", "honest", seed, i, timing="lockstep")
-            for i, seed in enumerate(spec.seeds)
+            RunTask("sync", "honest", seed, i * len(spec.seeds) + j,
+                    timing="lockstep", game=game)
+            for i, game in enumerate(spec.game_axis)
+            for j, seed in enumerate(spec.seeds)
         )
     tasks = []
     index = 0
-    for timing in spec.timings:
-        for scheduler in spec.schedulers:
-            for deviation in spec.deviations:
-                for seed in spec.seeds:
-                    tasks.append(
-                        RunTask(scheduler, deviation, seed, index,
-                                timing=timing)
-                    )
-                    index += 1
+    for game in spec.game_axis:
+        for timing in spec.timings:
+            for scheduler in spec.schedulers:
+                for deviation in spec.deviations:
+                    for seed in spec.seeds:
+                        tasks.append(
+                            RunTask(scheduler, deviation, seed, index,
+                                    timing=timing, game=game)
+                        )
+                        index += 1
     return tuple(tasks)
 
 
@@ -197,7 +202,8 @@ def _serialize_trace(trace) -> tuple:
 
 
 def _execute(spec: ScenarioSpec, task: RunTask) -> RunRecord:
-    game_spec = make_game(spec.game, spec.n)
+    game_name = task.game or spec.game
+    game_spec = make_game(game_name, spec.n)
     types = (
         spec.type_profile
         if spec.type_profile is not None
@@ -206,6 +212,7 @@ def _execute(spec: ScenarioSpec, task: RunTask) -> RunRecord:
     base = dict(
         scenario=spec.name,
         theorem=spec.theorem,
+        game=game_name,
         timing=task.timing,
         scheduler=task.scheduler,
         deviation=task.deviation,
@@ -241,7 +248,10 @@ def _execute(spec: ScenarioSpec, task: RunTask) -> RunRecord:
 
     mode = MODE_FOR_THEOREM[spec.theorem]
     deviations = deviation_profile(task.deviation, game_spec, spec.k, spec.t, mode)
-    scheduler = scheduler_from_name(task.scheduler, spec.n)
+    # Size-aware schedulers follow the game actually being run, which a
+    # games-axis entry (or a file:/family name) may size differently from
+    # the spec's nominal ``n``.
+    scheduler = scheduler_from_name(task.scheduler, game_spec.game.n)
     timing = timing_from_name(task.timing)
     run_kwargs = {}
     if spec.step_limit is not None:
@@ -289,6 +299,7 @@ def execute_task(
         record = RunRecord(
             scenario=spec.name,
             theorem=spec.theorem,
+            game=task.game or spec.game,
             timing=task.timing,
             scheduler=task.scheduler,
             deviation=task.deviation,
@@ -302,6 +313,7 @@ def execute_task(
         record = RunRecord(
             scenario=spec.name,
             theorem=spec.theorem,
+            game=task.game or spec.game,
             timing=task.timing,
             scheduler=task.scheduler,
             deviation=task.deviation,

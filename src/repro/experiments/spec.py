@@ -47,12 +47,14 @@ def _tuplize(value: Any) -> Any:
 class ScenarioSpec:
     """One declarative experiment: a named grid of runs.
 
-    The grid is the cross product ``timings × schedulers × deviations ×
-    seeds`` — except for ``r1`` (synchronous by construction: no scheduler
-    or timing grid, honest only) and ``raw-game`` (one evaluation per entry
-    of ``action_profiles``). Timing names are resolved through
-    :func:`repro.sim.timing.timing_from_name` (``"async"``, ``"lockstep"``,
-    ``"bounded-<d>[@<gst>]"``).
+    The grid is the cross product ``games × timings × schedulers ×
+    deviations × seeds`` — except for ``r1`` (synchronous by construction:
+    no scheduler or timing grid, honest only; ``games × seeds``) and
+    ``raw-game`` (one evaluation per entry of ``action_profiles``). Timing
+    names are resolved through :func:`repro.sim.timing.timing_from_name`
+    (``"async"``, ``"lockstep"``, ``"bounded-<d>[@<gst>]"``); game names
+    through :func:`repro.games.registry.make_game` (registry names,
+    ``family@params`` instances, ``file:<path>`` GameDef files).
     """
 
     name: str
@@ -62,6 +64,14 @@ class ScenarioSpec:
     k: int = 1
     t: int = 1
     epsilon: Optional[float] = None
+    games: tuple[str, ...] = ()
+    """Optional game axis: ``family@params`` (or registry / ``file:``)
+    names the grid crosses with the other axes, so one sweep can scan
+    game size the way it scans timing models. Empty means the single
+    ``game``. Parameters in an entry win over ``n`` (``consensus@n5``
+    is 5-player regardless), exactly as in
+    :func:`repro.games.registry.make_game`."""
+
     timings: tuple[str, ...] = ("async",)
     schedulers: tuple[str, ...] = ("fifo",)
     deviations: tuple[str, ...] = ("honest",)
@@ -76,6 +86,7 @@ class ScenarioSpec:
     description: str = ""
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "games", _tuplize(self.games))
         object.__setattr__(self, "timings", _tuplize(self.timings))
         object.__setattr__(self, "schedulers", _tuplize(self.schedulers))
         object.__setattr__(self, "deviations", _tuplize(self.deviations))
@@ -103,6 +114,25 @@ class ScenarioSpec:
             )
         if self.theorem == "raw-game" and not self.action_profiles:
             raise ExperimentError("raw-game scenarios need action_profiles")
+        if self.games:
+            if self.theorem == "raw-game":
+                raise ExperimentError(
+                    "raw-game scenarios evaluate one explicit payoff "
+                    "matrix; a games axis does not apply"
+                )
+            from repro.errors import GameError
+            from repro.games.families import is_family_name, parse_game_name
+
+            for game in self.games:
+                if not isinstance(game, str) or not game:
+                    raise ExperimentError(
+                        f"games axis entries must be names, got {game!r}"
+                    )
+                if is_family_name(game):
+                    try:
+                        parse_game_name(game)
+                    except GameError as exc:
+                        raise ExperimentError(str(exc)) from None
 
     # -- grid geometry -------------------------------------------------------
 
@@ -110,13 +140,19 @@ class ScenarioSpec:
     def seeds(self) -> tuple[int, ...]:
         return tuple(range(self.seed_start, self.seed_start + self.seed_count))
 
+    @property
+    def game_axis(self) -> tuple[str, ...]:
+        """The effective game axis: ``games`` or the single ``game``."""
+        return self.games or (self.game,)
+
     def grid_size(self) -> int:
         if self.theorem == "raw-game":
             return len(self.action_profiles)
         if self.theorem == "r1":
-            return self.seed_count
+            return len(self.game_axis) * self.seed_count
         return (
-            len(self.timings)
+            len(self.game_axis)
+            * len(self.timings)
             * len(self.schedulers)
             * len(self.deviations)
             * self.seed_count

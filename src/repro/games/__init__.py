@@ -27,9 +27,35 @@ from repro.games.solution import (
     tighten_epsilon,
 )
 from repro.games.punishment import check_punishment_strategy
+from repro.games.dsl import (
+    BOT,
+    GameDef,
+    decoding_pairs,
+    encoding_pairs,
+    shared_actions,
+)
 from repro.games import library
+from repro.games.families import (
+    family_names,
+    iter_families,
+    make_family_def,
+    parse_game_name,
+    random_game_def,
+    register_family,
+)
 
 __all__ = [
+    "BOT",
+    "GameDef",
+    "decoding_pairs",
+    "encoding_pairs",
+    "family_names",
+    "iter_families",
+    "make_family_def",
+    "parse_game_name",
+    "random_game_def",
+    "register_family",
+    "shared_actions",
     "BayesianGame",
     "TypeSpace",
     "Strategy",

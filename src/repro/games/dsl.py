@@ -1,0 +1,534 @@
+"""Declarative, JSON-round-trippable game definitions.
+
+A :class:`GameDef` is the *data* form of a game: everything a
+:class:`~repro.games.library.GameSpec` carries — type spaces, payoffs,
+the mediator function, punishment profile, default moves, circuit
+encodings — expressed as plain JSON values instead of Python callables.
+``GameDef.compile()`` turns the data into a live ``GameSpec``;
+``to_json``/``from_json`` round-trip losslessly, so games can be stored in
+files, shipped across ``multiprocessing`` workers by name, generated
+programmatically (:mod:`repro.games.families`), and diffed.
+
+The declarative sub-languages:
+
+* **payoff** — either an explicit ``table`` of ``[types, actions,
+  payoffs]`` cells, or an ``expr``: a restricted arithmetic expression
+  evaluated per player with ``i``/``n``/``types``/``actions``/``me``/
+  ``my_type``/``bot`` bound, plus ``count(a)`` (occurrences of ``a`` in
+  the action profile), ``others`` (every pid except ``i``), the usual
+  ``sum``/``min``/``max``/``abs``/``len``/``any``/``all``/``round``, and
+  ``shamir_secret(types, modulus, degree)``.  Named sub-expressions go in
+  ``where`` (visible to each other and to the final expression; they are
+  resolved to a fixed point, so entry order — which JSON serialization
+  may rewrite — never matters); free constants go in ``params``. The
+  evaluator is a strict
+  AST whitelist — no attribute access, no builtins — so game files are
+  data, not code.
+* **mediator** — a named rule with parameters, resolved through
+  :mod:`repro.mediator.rules` (``common-coin``, ``majority``,
+  ``rotate-duty``, ``table``, ``fixed``, ``shamir-decode``, plus user
+  registrations).
+* **types** — ``single`` / ``uniform`` / ``independent-uniform`` /
+  ``shamir-shares`` (all Shamir share profiles of a given modulus and
+  degree, the rational-secret-sharing type space).
+* **punishment** — ``constant`` or ``uniform`` per-player strategies (or
+  an explicit per-player ``profile`` of those), with a separate
+  ``punishment_strength``.
+* **default_move** — ``constant`` or ``own-type``.
+
+The six legacy library games (and the four extras) are all expressed this
+way in :mod:`repro.games.library` / :mod:`repro.games.library_extra`;
+golden tests pin their payoffs and per-seed mediator draws to the
+pre-DSL hand-written implementations.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import GameError
+
+BOT = "⊥"
+"""The opt-out action of the Section 6.4 game (JSON-safe: a string)."""
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert lists to tuples (JSON arrays come back as lists)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _freeze(v) for k, v in value.items()}
+    return value
+
+
+def _plain(value: Any) -> Any:
+    """Recursively convert tuples to lists for JSON emission."""
+    if isinstance(value, tuple):
+        return [_plain(v) for v in value]
+    if isinstance(value, list):
+        return [_plain(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _plain(v) for k, v in value.items()}
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Safe payoff expressions
+# ---------------------------------------------------------------------------
+
+_ALLOWED_NODES = (
+    ast.Expression,
+    ast.Constant,
+    ast.Name,
+    ast.Load,
+    ast.Store,  # generator-expression loop targets
+    ast.Tuple,
+    ast.List,
+    ast.BinOp,
+    ast.UnaryOp,
+    ast.BoolOp,
+    ast.IfExp,
+    ast.Compare,
+    ast.Call,
+    ast.Subscript,
+    ast.Slice,
+    ast.GeneratorExp,
+    ast.comprehension,
+    ast.Add,
+    ast.Sub,
+    ast.Mult,
+    ast.Div,
+    ast.FloorDiv,
+    ast.Mod,
+    ast.Pow,
+    ast.USub,
+    ast.UAdd,
+    ast.Not,
+    ast.And,
+    ast.Or,
+    ast.Eq,
+    ast.NotEq,
+    ast.Lt,
+    ast.LtE,
+    ast.Gt,
+    ast.GtE,
+    ast.In,
+    ast.NotIn,
+)
+
+
+def compile_expression(text: str, context: str = "payoff"):
+    """Parse and compile a restricted expression; reject anything else.
+
+    The whitelist admits arithmetic, comparisons, boolean logic,
+    conditionals, indexing, tuple/list literals, calls, and generator
+    expressions — and nothing with a dot in it, so there is no route from
+    an expression to attributes, imports, or builtins.
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise GameError(f"{context} expression must be a non-empty string")
+    try:
+        tree = ast.parse(text, mode="eval")
+    except SyntaxError as exc:
+        raise GameError(f"bad {context} expression {text!r}: {exc}") from None
+    for node in ast.walk(tree):
+        if not isinstance(node, _ALLOWED_NODES):
+            raise GameError(
+                f"{context} expression {text!r} uses forbidden syntax "
+                f"({type(node).__name__}); allowed: arithmetic, comparisons, "
+                "conditionals, indexing, calls, generator expressions"
+            )
+    return compile(tree, f"<{context}>", "eval")
+
+
+def _shamir_secret(types, modulus: int, degree: int) -> int:
+    """The constant term interpolated from the first ``degree + 1`` shares."""
+    from repro.field import GF, lagrange_interpolate
+
+    f = GF(int(modulus))
+    points = [(x + 1, s) for x, s in enumerate(types[: int(degree) + 1])]
+    return int(lagrange_interpolate(f, points)(0))
+
+
+_EXPR_HELPERS = {
+    "sum": sum,
+    "min": min,
+    "max": max,
+    "abs": abs,
+    "len": len,
+    "any": any,
+    "all": all,
+    "round": round,
+    "int": int,
+    "float": float,
+    "shamir_secret": _shamir_secret,
+    "bot": BOT,
+}
+
+
+def compile_payoff(payoff: dict, n: int) -> Callable:
+    """Compile a payoff definition into ``(types, actions) -> payoffs``."""
+    if not isinstance(payoff, dict) or "kind" not in payoff:
+        raise GameError(
+            f"payoff must be a dict with a 'kind' key, got {payoff!r}"
+        )
+    kind = payoff["kind"]
+    if kind == "table":
+        return _compile_payoff_table(payoff, n)
+    if kind == "expr":
+        return _compile_payoff_expr(payoff, n)
+    raise GameError(
+        f"unknown payoff kind {kind!r}; one of: table, expr"
+    )
+
+
+def _compile_payoff_table(payoff: dict, n: int) -> Callable:
+    cells: dict[tuple, tuple] = {}
+    for entry in payoff.get("cells", ()):
+        try:
+            types, actions, payoffs = entry
+        except (TypeError, ValueError):
+            raise GameError(
+                f"payoff table cell must be [types, actions, payoffs], "
+                f"got {entry!r}"
+            ) from None
+        if len(payoffs) != n:
+            raise GameError(
+                f"payoff table cell {entry!r} has {len(payoffs)} payoffs "
+                f"for {n} players"
+            )
+        cells[(_freeze(tuple(types)), _freeze(tuple(actions)))] = tuple(
+            float(u) for u in payoffs
+        )
+    if not cells:
+        raise GameError("payoff table needs at least one cell")
+
+    def utility(types, actions):
+        key = (tuple(types), tuple(actions))
+        try:
+            return cells[key]
+        except KeyError:
+            raise GameError(
+                f"payoff table has no cell for types={key[0]!r} "
+                f"actions={key[1]!r}"
+            ) from None
+
+    return utility
+
+
+def _compile_payoff_expr(payoff: dict, n: int) -> Callable:
+    code = compile_expression(payoff["expr"], "payoff")
+    where = [
+        (name, compile_expression(expr, f"where[{name}]"))
+        for name, expr in payoff.get("where", {}).items()
+    ]
+    params = dict(payoff.get("params", {}))
+    reserved = set(_EXPR_HELPERS) | {
+        "i", "n", "types", "actions", "me", "my_type", "count", "others",
+    }
+    clash = (set(params) | {name for name, _ in where}) & reserved
+    if clash:
+        raise GameError(
+            f"payoff names shadow built-ins: {', '.join(sorted(clash))}"
+        )
+
+    def utility(types, actions):
+        counts: dict[Any, int] = {}
+        for a in actions:
+            counts[a] = counts.get(a, 0) + 1
+
+        def count(value):
+            return counts.get(value, 0)
+
+        base = dict(_EXPR_HELPERS)
+        base.update(params)
+        base.update(
+            n=n, types=tuple(types), actions=tuple(actions), count=count,
+        )
+        payoffs = []
+        for i in range(n):
+            env = dict(base)
+            env.update(
+                i=i,
+                me=actions[i],
+                my_type=types[i],
+                others=tuple(j for j in range(n) if j != i),
+            )
+            # Single namespace (globals) so generator expressions — which
+            # execute in their own frame and cannot see eval() locals —
+            # still resolve the bound names.
+            env["__builtins__"] = {}
+            try:
+                # `where` entries may reference each other; resolve to a
+                # fixed point rather than trusting dict order, which JSON
+                # serialization (sort_keys) is free to rewrite.
+                pending = list(where)
+                while pending:
+                    deferred = []
+                    for name, sub in pending:
+                        try:
+                            env[name] = eval(sub, env)
+                        except NameError:
+                            deferred.append((name, sub))
+                    if len(deferred) == len(pending):
+                        unresolved = ", ".join(name for name, _ in deferred)
+                        raise GameError(
+                            f"payoff where-entries never resolve "
+                            f"(unknown or cyclic names): {unresolved}"
+                        )
+                    pending = deferred
+                value = eval(code, env)
+            except GameError:
+                raise
+            except Exception as exc:  # noqa: BLE001 — surface as GameError
+                raise GameError(
+                    f"payoff expression failed for player {i}: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from None
+            payoffs.append(float(value))
+        return payoffs
+
+    return utility
+
+
+# ---------------------------------------------------------------------------
+# Type spaces, punishment, default moves
+# ---------------------------------------------------------------------------
+
+def compile_type_space(types: dict, n: int):
+    from repro.games.bayesian import TypeSpace
+
+    if not isinstance(types, dict) or "kind" not in types:
+        raise GameError(
+            f"types must be a dict with a 'kind' key, got {types!r}"
+        )
+    kind = types["kind"]
+    if kind == "single":
+        profile = _freeze(tuple(types.get("profile", ())))
+        if len(profile) != n:
+            raise GameError(
+                f"single type profile {profile!r} has wrong arity (n={n})"
+            )
+        return TypeSpace.single(profile)
+    if kind == "uniform":
+        profiles = [_freeze(tuple(p)) for p in types.get("profiles", ())]
+        if any(len(p) != n for p in profiles):
+            raise GameError("uniform type profiles must all have arity n")
+        return TypeSpace.uniform(profiles)
+    if kind == "independent-uniform":
+        values = [list(v) for v in types.get("values", ())]
+        if len(values) != n:
+            raise GameError(
+                "independent-uniform needs one value list per player"
+            )
+        return TypeSpace.independent_uniform(values)
+    if kind == "shamir-shares":
+        modulus = int(types.get("modulus", 0))
+        degree = int(types.get("degree", 0))
+        if modulus < 2 or degree < 0:
+            raise GameError("shamir-shares needs modulus >= 2 and degree >= 0")
+        xs = list(range(1, n + 1))
+        profiles = []
+        for coeffs in itertools.product(range(modulus), repeat=degree + 1):
+            profiles.append(tuple(
+                sum(c * pow(x, j, modulus) for j, c in enumerate(coeffs))
+                % modulus
+                for x in xs
+            ))
+        return TypeSpace.uniform(profiles)
+    raise GameError(
+        f"unknown type-space kind {kind!r}; one of: single, uniform, "
+        "independent-uniform, shamir-shares"
+    )
+
+
+def _compile_strategy(entry: dict):
+    from repro.games.strategies import ConstantStrategy, UniformStrategy
+
+    kind = entry.get("kind")
+    if kind == "constant":
+        return ConstantStrategy(_freeze(entry.get("action")))
+    if kind == "uniform":
+        actions = [_freeze(a) for a in entry.get("actions", ())]
+        if not actions:
+            raise GameError("uniform punishment needs a non-empty action list")
+        return UniformStrategy(actions)
+    raise GameError(
+        f"unknown punishment strategy kind {kind!r}; one of: constant, uniform"
+    )
+
+
+def compile_punishment(punishment: Optional[dict], n: int):
+    from repro.games.strategies import StrategyProfile
+
+    if punishment is None:
+        return None
+    if not isinstance(punishment, dict) or "kind" not in punishment:
+        raise GameError(
+            f"punishment must be a dict with a 'kind' key, got {punishment!r}"
+        )
+    if punishment["kind"] == "profile":
+        strategies = [_compile_strategy(e) for e in punishment.get("players", ())]
+        if len(strategies) != n:
+            raise GameError("punishment profile needs one strategy per player")
+        return StrategyProfile(strategies)
+    return StrategyProfile([_compile_strategy(punishment)] * n)
+
+
+def compile_default_move(default: Optional[dict]):
+    if default is None:
+        return None
+    if not isinstance(default, dict) or "kind" not in default:
+        raise GameError(
+            f"default_move must be a dict with a 'kind' key, got {default!r}"
+        )
+    kind = default["kind"]
+    if kind == "constant":
+        action = _freeze(default.get("action"))
+        return lambda i, t: action
+    if kind == "own-type":
+        return lambda i, t: t
+    raise GameError(
+        f"unknown default_move kind {kind!r}; one of: constant, own-type"
+    )
+
+
+# ---------------------------------------------------------------------------
+# GameDef
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GameDef:
+    """A declarative game definition (pure data, JSON-round-trippable)."""
+
+    name: str
+    n: int
+    actions: tuple
+    """Per-player action tuples (``shared_actions`` builds the common case)."""
+
+    types: dict
+    payoff: dict
+    mediator: dict
+    punishment: Optional[dict] = None
+    punishment_strength: int = 0
+    default_move: Optional[dict] = None
+    type_encoding: tuple = ()
+    """``((type value, small int), ...)`` pairs for the circuit path."""
+
+    action_decoding: tuple = ()
+    """``((small int, action value), ...)`` pairs decoding circuit outputs."""
+
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "actions", _freeze(self.actions))
+        object.__setattr__(self, "types", _freeze(self.types))
+        object.__setattr__(self, "payoff", _freeze(self.payoff))
+        object.__setattr__(self, "mediator", _freeze(self.mediator))
+        object.__setattr__(self, "punishment", _freeze(self.punishment))
+        object.__setattr__(self, "default_move", _freeze(self.default_move))
+        object.__setattr__(self, "type_encoding", _freeze(self.type_encoding))
+        object.__setattr__(
+            self, "action_decoding", _freeze(self.action_decoding)
+        )
+        if self.n < 1:
+            raise GameError("GameDef needs n >= 1")
+        if len(self.actions) != self.n:
+            raise GameError(
+                f"GameDef {self.name!r} needs one action tuple per player "
+                f"(got {len(self.actions)} for n={self.n})"
+            )
+        for i, acts in enumerate(self.actions):
+            if not isinstance(acts, tuple) or not acts:
+                raise GameError(f"player {i} has an empty action set")
+
+    # -- compilation ---------------------------------------------------------
+
+    def compile(self):
+        """Build the live :class:`~repro.games.library.GameSpec`."""
+        from repro.games.bayesian import BayesianGame
+        from repro.games.library import GameSpec
+        # Imported lazily: repro.mediator.__init__ pulls in the protocol
+        # layer, which itself imports GameSpec from the library this module
+        # feeds — a cycle at import time, but not at compile time.
+        from repro.mediator.rules import build_mediator
+
+        utility = compile_payoff(self.payoff, self.n)
+        game = BayesianGame(
+            n=self.n,
+            action_sets=[list(a) for a in self.actions],
+            type_space=compile_type_space(self.types, self.n),
+            utility=utility,
+            name=self.name,
+        )
+        mediator_fn, mediator_dist = build_mediator(
+            dict(self.mediator), self.n
+        )
+        return GameSpec(
+            name=self.name,
+            game=game,
+            mediator_fn=mediator_fn,
+            mediator_dist=mediator_dist,
+            type_encoding={k: v for k, v in self.type_encoding},
+            action_decoding={k: v for k, v in self.action_decoding},
+            punishment=compile_punishment(self.punishment, self.n),
+            punishment_strength=self.punishment_strength,
+            default_moves=compile_default_move(self.default_move),
+            notes=self.notes,
+            definition=self,
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return _plain(dataclasses.asdict(self))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GameDef":
+        if not isinstance(data, dict):
+            raise GameError(f"GameDef JSON must be an object, got {data!r}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise GameError(
+                f"unknown GameDef fields: {', '.join(sorted(unknown))}"
+            )
+        missing = {"name", "n", "actions", "types", "payoff", "mediator"} - set(
+            data
+        )
+        if missing:
+            raise GameError(
+                f"GameDef JSON is missing fields: {', '.join(sorted(missing))}"
+            )
+        return cls(**{key: _freeze(value) for key, value in data.items()})
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "GameDef":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise GameError(f"bad GameDef JSON: {exc}") from None
+        return cls.from_dict(data)
+
+
+def shared_actions(n: int, actions) -> tuple:
+    """The common case: every player has the same action set."""
+    return tuple(tuple(actions) for _ in range(n))
+
+
+def encoding_pairs(values) -> tuple:
+    """``value -> index`` encoding pairs in the given order."""
+    return tuple((value, index) for index, value in enumerate(values))
+
+
+def decoding_pairs(values) -> tuple:
+    """``index -> value`` decoding pairs in the given order."""
+    return tuple((index, value) for index, value in enumerate(values))

@@ -1,0 +1,275 @@
+"""Parameterized game families: ``consensus@n5``, ``ba@n7t2``, ``random@n4s123``.
+
+A *family* is a named generator of :class:`~repro.games.dsl.GameDef`\\ s.
+Family instances are addressed by JSON-safe strings — ``<family>@<params>``
+where the params segment is a run of ``<letter><integer>`` pairs, parsed
+the same way :func:`repro.sim.timing.timing_from_name` parses
+``bounded-16@200`` — so scenario grids, audit specs, and the CLI can sweep
+game size (or fuzz seeded random games) without any side channel: the name
+alone rebuilds the identical game in every worker process.
+
+Shipped families (defaults in brackets):
+
+* ``consensus@n<players>`` — the workhorse coordination game;
+* ``ba@n<players>t<strength>`` — Byzantine agreement; ``t`` sets the
+  punishment strength bookkeeping [n//3];
+* ``sec64@n<players>k<bound>`` — the Section 6.4 counterexample
+  [k = (n-1)//3];
+* ``free-rider@n<players>m<sharers>`` [m=2];
+* ``volunteer@n<players>``;
+* ``public-goods@n<players>m<threshold>`` [m = max(2, n//3), pivotal pot];
+* ``minority@n<players>`` (n must be odd);
+* ``shamir@n<players>q<modulus>d<degree>`` [q=5, d=2];
+* ``random@n<players>s<seed>a<actions>m<types>`` — seeded random games
+  [a=2, m=1]: uniform payoff tables, a welfare-guided random mediator,
+  everything pure table data (see :func:`random_game_def`). These are the
+  fuzz targets of ``repro audit fuzz`` — robustness search on games
+  nobody hand-wrote.
+
+New families register through :func:`register_family`; the generator gets
+the parsed ``{letter: int}`` dict merged over its declared defaults.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from typing import Callable, Iterator, Optional
+
+from repro.errors import GameError
+from repro.games.dsl import GameDef, decoding_pairs, encoding_pairs, shared_actions
+from repro.games.library import (
+    byzantine_agreement_def,
+    consensus_def,
+    free_rider_def,
+    section64_def,
+    shamir_secret_def,
+)
+from repro.games.library_extra import (
+    minority_def,
+    public_goods_def,
+    volunteer_def,
+)
+
+FamilyMaker = Callable[[dict], GameDef]
+
+_FAMILIES: dict[str, tuple[dict, FamilyMaker]] = {}
+
+_PARAMS_RE = re.compile(r"([a-z])(\d+)")
+
+
+def register_family(
+    name: str, defaults: dict, maker: FamilyMaker | None = None
+):
+    """Register a family generator; usable as a decorator.
+
+    ``defaults`` maps single-letter parameter names to their default
+    integer values; the maker receives the merged parameter dict.
+    """
+
+    def _register(fn: FamilyMaker) -> FamilyMaker:
+        if name in _FAMILIES:
+            raise GameError(f"game family {name!r} is already registered")
+        for key in defaults:
+            if len(key) != 1 or not key.isalpha():
+                raise GameError(
+                    f"family parameter names must be single letters, "
+                    f"got {key!r}"
+                )
+        _FAMILIES[name] = (dict(defaults), fn)
+        return fn
+
+    if maker is not None:
+        return _register(maker)
+    return _register
+
+
+def family_names() -> list[str]:
+    return sorted(_FAMILIES)
+
+
+def family_params(name: str) -> dict:
+    """The declared parameter defaults of family ``name``."""
+    try:
+        defaults, _ = _FAMILIES[name]
+    except KeyError:
+        raise GameError(
+            f"unknown game family {name!r}; known families: "
+            f"{', '.join(family_names())}"
+        ) from None
+    return dict(defaults)
+
+
+def iter_families() -> Iterator[tuple[str, dict]]:
+    for name in family_names():
+        yield name, family_params(name)
+
+
+def is_family_name(name: str) -> bool:
+    """True for ``family@params`` strings (the registry's dispatch test)."""
+    return "@" in name
+
+
+def parse_game_name(name: str) -> tuple[str, dict]:
+    """Split ``family@params`` into the family and its ``{letter: int}`` dict.
+
+    ``consensus@n5`` → ``("consensus", {"n": 5})``;
+    ``random@n4s123`` → ``("random", {"n": 4, "s": 123})``. Raises
+    :class:`~repro.errors.GameError` for malformed params or unknown
+    families/parameters.
+    """
+    family, _, params_text = name.partition("@")
+    defaults = family_params(family)  # raises for unknown families
+    params = dict(defaults)
+    consumed = _PARAMS_RE.sub("", params_text)
+    if consumed or not params_text:
+        raise GameError(
+            f"bad game parameters {params_text!r} in {name!r} "
+            f"(want e.g. {family}@"
+            f"{''.join(f'{k}{v}' for k, v in defaults.items())})"
+        )
+    for letter, digits in _PARAMS_RE.findall(params_text):
+        if letter not in defaults:
+            raise GameError(
+                f"unknown parameter {letter!r} for game family {family!r} "
+                f"(takes: {', '.join(sorted(defaults))})"
+            )
+        params[letter] = int(digits)
+    return family, params
+
+
+def make_family_def(name: str, n: Optional[int] = None) -> GameDef:
+    """Build the :class:`GameDef` for a ``family@params`` name.
+
+    ``n`` is a fallback player count for families with an ``n`` parameter
+    the name leaves unset — which cannot happen through
+    :func:`parse_game_name` (defaults fill every slot) but keeps the
+    registry's ``make_game(name, n)`` shape meaningful for plain family
+    names without a params segment.
+    """
+    if "@" in name:
+        family, params = parse_game_name(name)
+    else:
+        family = name
+        params = family_params(family)
+        if n is not None and "n" in params:
+            params["n"] = n
+    _, maker = _FAMILIES[family]
+    return maker(params)
+
+
+# ---------------------------------------------------------------------------
+# Library games as families
+# ---------------------------------------------------------------------------
+
+register_family("consensus", {"n": 9}, lambda p: consensus_def(p["n"]))
+register_family(
+    "sec64",
+    {"n": 7, "k": 0},
+    lambda p: section64_def(
+        p["n"], p["k"] if p["k"] else max(1, (p["n"] - 1) // 3)
+    ),
+)
+register_family("volunteer", {"n": 5}, lambda p: volunteer_def(p["n"]))
+register_family("minority", {"n": 5}, lambda p: minority_def(p["n"]))
+register_family(
+    "free-rider",
+    {"n": 4, "m": 2},
+    lambda p: free_rider_def(p["n"], p["m"]),
+)
+register_family(
+    "shamir",
+    {"n": 5, "q": 5, "d": 2},
+    lambda p: shamir_secret_def(p["n"], p["q"], p["d"]),
+)
+
+
+@register_family("ba", {"n": 9, "t": 0})
+def _ba_family(params: dict) -> GameDef:
+    import dataclasses
+
+    base = byzantine_agreement_def(params["n"])
+    strength = params["t"] if params["t"] else max(1, params["n"] // 3)
+    return dataclasses.replace(base, punishment_strength=strength)
+
+
+@register_family("public-goods", {"n": 6, "m": 0})
+def _public_goods_family(params: dict) -> GameDef:
+    n = params["n"]
+    threshold = params["m"] if params["m"] else max(2, n // 3)
+    # Keep the pivotality invariant pot/n > cost for every swept size.
+    return public_goods_def(n, threshold, pot=1.5 * n, cost=1.0)
+
+
+# ---------------------------------------------------------------------------
+# Seeded random games (the fuzz targets)
+# ---------------------------------------------------------------------------
+
+@register_family("random", {"n": 4, "s": 0, "a": 2, "m": 1})
+def _random_family(params: dict) -> GameDef:
+    return random_game_def(
+        n=params["n"], seed=params["s"], actions=params["a"], types=params["m"]
+    )
+
+
+def random_game_def(
+    n: int = 4, seed: int = 0, actions: int = 2, types: int = 1
+) -> GameDef:
+    """A seeded random Bayesian game as pure table data.
+
+    Deterministic in ``(n, seed, actions, types)``: payoffs are uniform
+    draws in [0, 1] (rounded to 3 decimals so the JSON form is exact),
+    the type space is the single profile 0ⁿ (``types == 1``) or
+    independent-uniform over ``{0..types-1}`` per player, and the mediator
+    is a ``table`` rule recommending one of the two highest-welfare action
+    profiles uniformly per reported type profile — random games whose
+    honest baseline is still worth deviating against, which is what makes
+    them useful fuzz targets for the audit engine.
+    """
+    import itertools
+
+    if n < 1 or actions < 2 or types < 1:
+        raise GameError("random game needs n >= 1, actions >= 2, types >= 1")
+    rng = random.Random(f"random-game:n{n}a{actions}m{types}s{seed}")
+    action_values = tuple(range(actions))
+    if types == 1:
+        type_profiles = [(0,) * n]
+        types_def: dict = {"kind": "single", "profile": (0,) * n}
+    else:
+        values = tuple(range(types))
+        type_profiles = list(itertools.product(*([values] * n)))
+        types_def = {"kind": "independent-uniform", "values": (values,) * n}
+
+    action_profiles = list(itertools.product(*([action_values] * n)))
+    cells = []
+    by_reports = []
+    for tp in type_profiles:
+        welfare: list[tuple[float, tuple]] = []
+        for ap in action_profiles:
+            payoffs = tuple(round(rng.random(), 3) for _ in range(n))
+            cells.append((tp, ap, payoffs))
+            welfare.append((sum(payoffs), ap))
+        top = sorted(welfare, key=lambda w: (-w[0], w[1]))[:2]
+        by_reports.append(
+            (tp, tuple((ap, 1.0 / len(top)) for _, ap in top))
+        )
+
+    if types == 1:
+        mediator = {"rule": "table", "params": {"cells": by_reports[0][1]}}
+    else:
+        mediator = {"rule": "table", "params": {"by_reports": tuple(by_reports)}}
+
+    return GameDef(
+        name=f"random(n={n},a={actions},m={types},s={seed})",
+        n=n,
+        actions=shared_actions(n, action_values),
+        types=types_def,
+        payoff={"kind": "table", "cells": tuple(cells)},
+        mediator=mediator,
+        punishment={"kind": "uniform", "actions": action_values},
+        punishment_strength=1,
+        default_move={"kind": "constant", "action": 0},
+        type_encoding=encoding_pairs(tuple(range(types))),
+        action_decoding=decoding_pairs(action_values),
+        notes=f"Seeded random game (seed {seed}); audit-fuzz target.",
+    )

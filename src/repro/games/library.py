@@ -5,6 +5,14 @@ the *ideal mediator function* (what the trusted mediator computes from
 reported types), encodings for the arithmetic-circuit path, a punishment
 profile when one exists, and default moves.
 
+Every game here is *data*: a ``<name>_def`` function builds the
+declarative :class:`~repro.games.dsl.GameDef` (payoff expressions or
+tables, a named mediator rule, punishment and default-move descriptions)
+and the public ``<name>_game`` function compiles it. Golden tests pin the
+compiled payoffs and per-seed mediator draws byte-identically to the
+pre-DSL hand-written implementations, and every spec's ``definition``
+round-trips through JSON.
+
 Included games:
 
 * :func:`section64_game` — the paper's Section 6.4 counterexample: the
@@ -32,16 +40,14 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.errors import GameError
-from repro.games.bayesian import BayesianGame, TypeSpace
-from repro.games.strategies import (
-    ConstantStrategy,
-    PureStrategy,
-    StrategyProfile,
-    UniformStrategy,
+from repro.games.dsl import (
+    BOT,
+    GameDef,
+    decoding_pairs,
+    encoding_pairs,
+    shared_actions,
 )
-
-BOT = "⊥"
-"""The opt-out action of the Section 6.4 game."""
+from repro.games.strategies import StrategyProfile
 
 
 @dataclass
@@ -49,7 +55,7 @@ class GameSpec:
     """A game plus everything the mediator/cheap-talk layers need."""
 
     name: str
-    game: BayesianGame
+    game: Any
     mediator_fn: Callable
     """(reported_type_profile, rng) -> recommended action profile."""
 
@@ -73,6 +79,11 @@ class GameSpec:
 
     notes: str = ""
 
+    definition: Optional[GameDef] = None
+    """The declarative source this spec was compiled from, when there is
+    one — ``repro games show --json`` prints it and the DSL round-trip
+    tests re-compile it."""
+
     def encode_type(self, value: Any) -> int:
         if not self.type_encoding:
             return int(value)
@@ -88,20 +99,33 @@ class GameSpec:
 # Section 6.4 counterexample
 # ---------------------------------------------------------------------------
 
-def section64_utility(k: int):
-    def utility(types, actions):
-        bots = sum(1 for a in actions if a == BOT)
-        if bots >= k + 1:
-            value = 1.1
-        elif all(a in (0, BOT) for a in actions):
-            value = 1.0
-        elif all(a in (1, BOT) for a in actions):
-            value = 2.0
-        else:
-            value = 0.0
-        return [value] * len(actions)
-
-    return utility
+def section64_def(n: int, k: int = 1) -> GameDef:
+    """The Section 6.4 game as declarative data (see :func:`section64_game`)."""
+    if n <= 3 * k:
+        raise GameError("section 6.4 game requires n > 3k")
+    return GameDef(
+        name=f"section64(n={n},k={k})",
+        n=n,
+        actions=shared_actions(n, (0, 1, BOT)),
+        types={"kind": "single", "profile": (0,) * n},
+        payoff={
+            "kind": "expr",
+            "params": {"k": k},
+            "where": {"bots": "count(bot)"},
+            "expr": (
+                "1.1 if bots >= k + 1 else "
+                "(1.0 if count(1) == 0 else "
+                "(2.0 if count(0) == 0 else 0.0))"
+            ),
+        },
+        mediator={"rule": "common-coin", "params": {"values": (0, 1)}},
+        punishment={"kind": "constant", "action": BOT},
+        punishment_strength=k,
+        default_move={"kind": "constant", "action": BOT},
+        type_encoding=encoding_pairs((0,)),
+        action_decoding=decoding_pairs((0, 1, BOT)),
+        notes="Paper Section 6.4 counterexample game.",
+    )
 
 
 def section64_game(n: int, k: int = 1) -> GameSpec:
@@ -120,51 +144,37 @@ def section64_game(n: int, k: int = 1) -> GameSpec:
     ``mediator_fn`` is the minimal (non-leaky) mediator; the leaky message
     schedule lives in ``repro.mediator.minimal.leaky_section64_mediator``.
     """
-    if n <= 3 * k:
-        raise GameError("section 6.4 game requires n > 3k")
-    game = BayesianGame(
-        n=n,
-        action_sets=[[0, 1, BOT]] * n,
-        type_space=TypeSpace.single([0] * n),
-        utility=section64_utility(k),
-        name=f"section64(n={n},k={k})",
-    )
-
-    def mediator_fn(reports, rng):
-        b = rng.randrange(2)
-        return tuple(b for _ in range(n))
-
-    def mediator_dist(reports):
-        return {tuple(0 for _ in range(n)): 0.5, tuple(1 for _ in range(n)): 0.5}
-
-    return GameSpec(
-        name=game.name,
-        game=game,
-        mediator_fn=mediator_fn,
-        mediator_dist=mediator_dist,
-        type_encoding={0: 0},
-        action_decoding={0: 0, 1: 1, 2: BOT},
-        punishment=StrategyProfile([ConstantStrategy(BOT)] * n),
-        punishment_strength=k,
-        default_moves=lambda i, t: BOT,
-        notes="Paper Section 6.4 counterexample game.",
-    )
+    return section64_def(n, k).compile()
 
 
 # ---------------------------------------------------------------------------
 # Consensus / coordination
 # ---------------------------------------------------------------------------
 
-def _majority_payoff(n):
-    def utility(types, actions):
-        counts: dict[Any, int] = {}
-        for a in actions:
-            counts[a] = counts.get(a, 0) + 1
-        best = max(counts.values())
-        winners = {a for a, c in counts.items() if c == best}
-        return [1.0 if actions[i] in winners else 0.0 for i in range(n)]
+_MAJORITY_PAYOFF = {
+    # u_i = 1 iff i's action is a plurality action (binary action set).
+    "kind": "expr",
+    "where": {"cmax": "max(count(0), count(1))"},
+    "expr": "1.0 if count(me) == cmax else 0.0",
+}
 
-    return utility
+
+def consensus_def(n: int) -> GameDef:
+    """The consensus game as declarative data (see :func:`consensus_game`)."""
+    return GameDef(
+        name=f"consensus(n={n})",
+        n=n,
+        actions=shared_actions(n, (0, 1)),
+        types={"kind": "single", "profile": (0,) * n},
+        payoff=_MAJORITY_PAYOFF,
+        mediator={"rule": "common-coin", "params": {"values": (0, 1)}},
+        punishment={"kind": "uniform", "actions": (0, 1)},
+        punishment_strength=max(1, n // 3),
+        default_move={"kind": "constant", "action": 0},
+        type_encoding=encoding_pairs((0,)),
+        action_decoding=decoding_pairs((0, 1)),
+        notes="Correlated coordination on a mediator coin.",
+    )
 
 
 def consensus_game(n: int) -> GameSpec:
@@ -176,32 +186,24 @@ def consensus_game(n: int) -> GameSpec:
     (k,t)-robustness for k + t < n/2. Uniform-random play is a punishment
     profile (expected payoff strictly below 1 for any small coalition).
     """
-    game = BayesianGame(
+    return consensus_def(n).compile()
+
+
+def byzantine_agreement_def(n: int) -> GameDef:
+    """Byzantine agreement as declarative data."""
+    return GameDef(
+        name=f"byz-agreement(n={n})",
         n=n,
-        action_sets=[[0, 1]] * n,
-        type_space=TypeSpace.single([0] * n),
-        utility=_majority_payoff(n),
-        name=f"consensus(n={n})",
-    )
-
-    def mediator_fn(reports, rng):
-        b = rng.randrange(2)
-        return tuple(b for _ in range(n))
-
-    def mediator_dist(reports):
-        return {tuple(0 for _ in range(n)): 0.5, tuple(1 for _ in range(n)): 0.5}
-
-    return GameSpec(
-        name=game.name,
-        game=game,
-        mediator_fn=mediator_fn,
-        mediator_dist=mediator_dist,
-        type_encoding={0: 0},
-        action_decoding={0: 0, 1: 1},
-        punishment=StrategyProfile([UniformStrategy([0, 1])] * n),
+        actions=shared_actions(n, (0, 1)),
+        types={"kind": "independent-uniform", "values": ((0, 1),) * n},
+        payoff=_MAJORITY_PAYOFF,
+        mediator={"rule": "majority", "params": {"high": 1, "low": 0}},
+        punishment={"kind": "uniform", "actions": (0, 1)},
         punishment_strength=max(1, n // 3),
-        default_moves=lambda i, t: 0,
-        notes="Correlated coordination on a mediator coin.",
+        default_move={"kind": "own-type"},
+        type_encoding=encoding_pairs((0, 1)),
+        action_decoding=decoding_pairs((0, 1)),
+        notes="Byzantine agreement with a mediator (paper introduction).",
     )
 
 
@@ -216,41 +218,43 @@ def byzantine_agreement_game(n: int) -> GameSpec:
     protocol-level tests separately check validity (majority of honest
     reports wins when honest reports are unanimous).
     """
-    game = BayesianGame(
-        n=n,
-        action_sets=[[0, 1]] * n,
-        type_space=TypeSpace.independent_uniform([[0, 1]] * n),
-        utility=_majority_payoff(n),
-        name=f"byz-agreement(n={n})",
-    )
-
-    def mediator_fn(reports, rng):
-        ones = sum(reports)
-        b = 1 if ones * 2 > len(reports) else 0
-        return tuple(b for _ in range(n))
-
-    def mediator_dist(reports):
-        ones = sum(reports)
-        b = 1 if ones * 2 > len(reports) else 0
-        return {tuple(b for _ in range(n)): 1.0}
-
-    return GameSpec(
-        name=game.name,
-        game=game,
-        mediator_fn=mediator_fn,
-        mediator_dist=mediator_dist,
-        type_encoding={0: 0, 1: 1},
-        action_decoding={0: 0, 1: 1},
-        punishment=StrategyProfile([UniformStrategy([0, 1])] * n),
-        punishment_strength=max(1, n // 3),
-        default_moves=lambda i, t: t,
-        notes="Byzantine agreement with a mediator (paper introduction).",
-    )
+    return byzantine_agreement_def(n).compile()
 
 
 # ---------------------------------------------------------------------------
 # Rational secret reconstruction (Shamir types)
 # ---------------------------------------------------------------------------
+
+def shamir_secret_def(
+    n: int = 5, modulus: int = 5, degree: int = 2, exclusivity_bonus: float = 0.5
+) -> GameDef:
+    """Rational secret reconstruction as declarative data."""
+    return GameDef(
+        name=f"shamir-secret(n={n},q={modulus},d={degree})",
+        n=n,
+        actions=shared_actions(n, tuple(range(modulus))),
+        types={"kind": "shamir-shares", "modulus": modulus, "degree": degree},
+        payoff={
+            "kind": "expr",
+            "params": {"q": modulus, "d": degree, "bonus": exclusivity_bonus},
+            "where": {"secret": "shamir_secret(types, q, d)"},
+            "expr": (
+                "0.0 if me != secret else "
+                "(1.0 + (bonus if any(actions[j] != secret for j in others) "
+                "else 0.0))"
+            ),
+        },
+        mediator={
+            "rule": "shamir-decode",
+            "params": {"modulus": modulus, "degree": degree, "fallback": 0},
+        },
+        punishment=None,
+        default_move={"kind": "constant", "action": 0},
+        type_encoding=encoding_pairs(tuple(range(modulus))),
+        action_decoding=decoding_pairs(tuple(range(modulus))),
+        notes="Rational secret reconstruction; exclusivity bonus attack surface.",
+    )
+
 
 def shamir_secret_game(
     n: int = 5, modulus: int = 5, degree: int = 2, exclusivity_bonus: float = 0.5
@@ -267,79 +271,7 @@ def shamir_secret_game(
     way to the payoff is through the mediator (or cheap talk) — the classic
     rational-secret-sharing setting.
     """
-    import itertools
-
-    xs = list(range(1, n + 1))
-    profiles = []
-    for coeffs in itertools.product(range(modulus), repeat=degree + 1):
-        shares = tuple(
-            sum(c * pow(x, j, modulus) for j, c in enumerate(coeffs)) % modulus
-            for x in xs
-        )
-        profiles.append(shares)
-    type_space = TypeSpace.uniform(profiles)
-
-    def secret_of(types) -> int:
-        from repro.field import GF, lagrange_interpolate
-
-        f = GF(modulus)
-        points = [(x, s) for x, s in zip(xs[: degree + 1], types[: degree + 1])]
-        return int(lagrange_interpolate(f, points)(0))
-
-    def utility(types, actions):
-        secret = secret_of(types)
-        correct = [a == secret for a in actions]
-        payoffs = []
-        for i in range(n):
-            if not correct[i]:
-                payoffs.append(0.0)
-                continue
-            others_wrong = any(not correct[j] for j in range(n) if j != i)
-            payoffs.append(1.0 + (exclusivity_bonus if others_wrong else 0.0))
-        return payoffs
-
-    game = BayesianGame(
-        n=n,
-        action_sets=[list(range(modulus))] * n,
-        type_space=type_space,
-        utility=utility,
-        name=f"shamir-secret(n={n},q={modulus},d={degree})",
-    )
-
-    def mediator_fn(reports, rng):
-        from repro.errors import DecodingError
-        from repro.field import GF, berlekamp_welch
-
-        f = GF(modulus)
-        max_errors = (n - degree - 1) // 2
-        try:
-            poly = berlekamp_welch(
-                f,
-                list(zip(xs, reports)),
-                degree=degree,
-                max_errors=max_errors,
-            )
-            secret = int(poly(0))
-        except DecodingError:
-            secret = 0  # detected cheating: fall back to a fixed value
-        return tuple(secret for _ in range(n))
-
-    def mediator_dist(reports):
-        import random as _random
-
-        return {mediator_fn(reports, _random.Random(0)): 1.0}
-
-    return GameSpec(
-        name=game.name,
-        game=game,
-        mediator_fn=mediator_fn,
-        mediator_dist=mediator_dist,
-        type_encoding={v: v for v in range(modulus)},
-        action_decoding={v: v for v in range(modulus)},
-        punishment=None,
-        default_moves=lambda i, t: 0,
-        notes="Rational secret reconstruction; exclusivity bonus attack surface.",
-    )
+    return shamir_secret_def(n, modulus, degree, exclusivity_bonus).compile()
 
 
 # ---------------------------------------------------------------------------
@@ -354,6 +286,40 @@ CHICKEN_PAYOFFS = {
 }
 
 
+def chicken_def() -> GameDef:
+    """Aumann's chicken as declarative data."""
+    third = 1.0 / 3.0
+    return GameDef(
+        name="chicken",
+        n=2,
+        actions=shared_actions(2, ("D", "C")),
+        types={"kind": "single", "profile": (0, 0)},
+        payoff={
+            "kind": "table",
+            "cells": tuple(
+                ((0, 0), actions, payoffs)
+                for actions, payoffs in CHICKEN_PAYOFFS.items()
+            ),
+        },
+        mediator={
+            "rule": "table",
+            "params": {
+                "cells": (
+                    (("C", "C"), third),
+                    (("C", "D"), third),
+                    (("D", "C"), third),
+                ),
+            },
+        },
+        punishment={"kind": "constant", "action": "D"},
+        punishment_strength=1,
+        default_move={"kind": "constant", "action": "D"},
+        type_encoding=encoding_pairs((0,)),
+        action_decoding=decoding_pairs(("D", "C")),
+        notes="Correlated equilibrium exceeding the Nash hull; EGL workload.",
+    )
+
+
 def chicken_game() -> GameSpec:
     """Aumann's game of chicken with the classic correlated equilibrium.
 
@@ -361,39 +327,46 @@ def chicken_game() -> GameSpec:
     recommends each player its component. Obedience is an equilibrium and
     the expected payoff (5.0 each) beats the mixed Nash.
     """
-    game = BayesianGame(
-        n=2,
-        action_sets=[["D", "C"], ["D", "C"]],
-        type_space=TypeSpace.single([0, 0]),
-        utility=lambda types, actions: CHICKEN_PAYOFFS[tuple(actions)],
-        name="chicken",
-    )
-
-    cells = [("C", "C"), ("C", "D"), ("D", "C")]
-
-    def mediator_fn(reports, rng):
-        return cells[rng.randrange(3)]
-
-    def mediator_dist(reports):
-        return {cell: 1.0 / 3.0 for cell in cells}
-
-    return GameSpec(
-        name="chicken",
-        game=game,
-        mediator_fn=mediator_fn,
-        mediator_dist=mediator_dist,
-        type_encoding={0: 0},
-        action_decoding={0: "D", 1: "C"},
-        punishment=StrategyProfile([ConstantStrategy("D")] * 2),
-        punishment_strength=1,
-        default_moves=lambda i, t: "D",
-        notes="Correlated equilibrium exceeding the Nash hull; EGL workload.",
-    )
+    return chicken_def().compile()
 
 
 # ---------------------------------------------------------------------------
 # Free riding (introduction motivation)
 # ---------------------------------------------------------------------------
+
+def free_rider_def(
+    n: int = 4, sharers_needed: int = 2, benefit: float = 2.0, cost: float = 1.0
+) -> GameDef:
+    """The Gnutella-style sharing game as declarative data."""
+    if sharers_needed < 1 or sharers_needed > n:
+        raise GameError("sharers_needed out of range")
+    return GameDef(
+        name=f"free-rider(n={n},m={sharers_needed})",
+        n=n,
+        actions=shared_actions(n, ("share", "ride")),
+        types={"kind": "single", "profile": (0,) * n},
+        payoff={
+            "kind": "expr",
+            "params": {"m": sharers_needed, "benefit": benefit, "cost": cost},
+            "where": {"sharing": "count('share')"},
+            "expr": (
+                "(benefit if sharing >= m else 0.0) - "
+                "(cost if me == 'share' else 0.0)"
+            ),
+        },
+        mediator={
+            "rule": "rotate-duty",
+            "params": {"count": sharers_needed, "active": "share",
+                       "idle": "ride"},
+        },
+        punishment={"kind": "constant", "action": "ride"},
+        punishment_strength=1,
+        default_move={"kind": "constant", "action": "ride"},
+        type_encoding=encoding_pairs((0,)),
+        action_decoding=decoding_pairs(("share", "ride")),
+        notes="Mediator rotates sharing duty (Kazaa/Gnutella motivation).",
+    )
+
 
 def free_rider_game(
     n: int = 4, sharers_needed: int = 2, benefit: float = 2.0, cost: float = 1.0
@@ -406,49 +379,7 @@ def free_rider_game(
     recommends "share" to them. Parameters are chosen pivotal
     (``benefit > cost``) so obedience is a Nash equilibrium (k=1, t=0).
     """
-    if sharers_needed < 1 or sharers_needed > n:
-        raise GameError("sharers_needed out of range")
-
-    def utility(types, actions):
-        sharing = sum(1 for a in actions if a == "share")
-        base = benefit if sharing >= sharers_needed else 0.0
-        return [base - (cost if actions[i] == "share" else 0.0) for i in range(n)]
-
-    game = BayesianGame(
-        n=n,
-        action_sets=[["share", "ride"]] * n,
-        type_space=TypeSpace.single([0] * n),
-        utility=utility,
-        name=f"free-rider(n={n},m={sharers_needed})",
-    )
-
-    import itertools
-
-    subsets = list(itertools.combinations(range(n), sharers_needed))
-
-    def mediator_fn(reports, rng):
-        chosen = subsets[rng.randrange(len(subsets))]
-        return tuple("share" if i in chosen else "ride" for i in range(n))
-
-    def mediator_dist(reports):
-        prob = 1.0 / len(subsets)
-        return {
-            tuple("share" if i in chosen else "ride" for i in range(n)): prob
-            for chosen in subsets
-        }
-
-    return GameSpec(
-        name=game.name,
-        game=game,
-        mediator_fn=mediator_fn,
-        mediator_dist=mediator_dist,
-        type_encoding={0: 0},
-        action_decoding={0: "share", 1: "ride"},
-        punishment=StrategyProfile([ConstantStrategy("ride")] * n),
-        punishment_strength=1,
-        default_moves=lambda i, t: "ride",
-        notes="Mediator rotates sharing duty (Kazaa/Gnutella motivation).",
-    )
+    return free_rider_def(n, sharers_needed, benefit, cost).compile()
 
 
 ALL_SPECS: dict[str, Callable[..., GameSpec]] = {

@@ -2,20 +2,53 @@
 
 These extend the core library (:mod:`repro.games.library`) with further
 mediator-shaped coordination problems used by the extended experiments and
-examples. Each follows the same :class:`~repro.games.library.GameSpec`
-contract: an exact ``mediator_dist``, encodings, and (where meaningful) a
-punishment profile.
+examples. Like the core library, every game is declarative data — a
+``<name>_def`` function builds the :class:`~repro.games.dsl.GameDef`
+(payoff expression or table, named mediator rule, punishment, encodings)
+and the public game function compiles it to the usual
+:class:`~repro.games.library.GameSpec`.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Any
-
 from repro.errors import GameError
-from repro.games.bayesian import BayesianGame, TypeSpace
+from repro.games.dsl import (
+    GameDef,
+    decoding_pairs,
+    encoding_pairs,
+    shared_actions,
+)
 from repro.games.library import GameSpec
-from repro.games.strategies import ConstantStrategy, StrategyProfile, UniformStrategy
+
+
+def volunteer_def(n: int = 5, benefit: float = 2.0, cost: float = 1.2) -> GameDef:
+    """The volunteer's dilemma as declarative data."""
+    if not 0 < cost < benefit:
+        raise GameError("need 0 < cost < benefit")
+    return GameDef(
+        name=f"volunteer(n={n})",
+        n=n,
+        actions=shared_actions(n, ("go", "stay")),
+        types={"kind": "single", "profile": (0,) * n},
+        payoff={
+            "kind": "expr",
+            "params": {"benefit": benefit, "cost": cost},
+            "expr": (
+                "(benefit if count('go') >= 1 else 0.0) - "
+                "(cost if me == 'go' else 0.0)"
+            ),
+        },
+        mediator={
+            "rule": "rotate-duty",
+            "params": {"count": 1, "active": "go", "idle": "stay"},
+        },
+        punishment={"kind": "constant", "action": "stay"},
+        punishment_strength=1,
+        default_move={"kind": "constant", "action": "stay"},
+        type_encoding=encoding_pairs((0,)),
+        action_decoding=decoding_pairs(("go", "stay")),
+        notes="Mediator appoints exactly one volunteer.",
+    )
 
 
 def volunteer_game(n: int = 5, benefit: float = 2.0, cost: float = 1.2) -> GameSpec:
@@ -28,46 +61,36 @@ def volunteer_game(n: int = 5, benefit: float = 2.0, cost: float = 1.2) -> GameS
     equilibrium because an appointed volunteer who shirks risks the
     no-volunteer outcome (it is the only appointee).
     """
-    if not 0 < cost < benefit:
-        raise GameError("need 0 < cost < benefit")
+    return volunteer_def(n, benefit, cost).compile()
 
-    def utility(types, actions):
-        volunteers = [i for i, a in enumerate(actions) if a == "go"]
-        base = benefit if volunteers else 0.0
-        return [
-            base - (cost if i in volunteers else 0.0) for i in range(n)
-        ]
 
-    game = BayesianGame(
-        n=n,
-        action_sets=[["go", "stay"]] * n,
-        type_space=TypeSpace.single([0] * n),
-        utility=utility,
-        name=f"volunteer(n={n})",
-    )
-
-    def mediator_fn(reports, rng):
-        chosen = rng.randrange(n)
-        return tuple("go" if i == chosen else "stay" for i in range(n))
-
-    def mediator_dist(reports):
-        prob = 1.0 / n
-        return {
-            tuple("go" if i == chosen else "stay" for i in range(n)): prob
-            for chosen in range(n)
-        }
-
-    return GameSpec(
-        name=game.name,
-        game=game,
-        mediator_fn=mediator_fn,
-        mediator_dist=mediator_dist,
-        type_encoding={0: 0},
-        action_decoding={0: "go", 1: "stay"},
-        punishment=StrategyProfile([ConstantStrategy("stay")] * n),
-        punishment_strength=1,
-        default_moves=lambda i, t: "stay",
-        notes="Mediator appoints exactly one volunteer.",
+def battle_of_sexes_def() -> GameDef:
+    """Battle of the sexes as declarative data."""
+    return GameDef(
+        name="battle-of-sexes",
+        n=2,
+        actions=shared_actions(2, ("A", "B")),
+        types={"kind": "single", "profile": (0, 0)},
+        payoff={
+            "kind": "table",
+            "cells": (
+                ((0, 0), ("A", "A"), (3.0, 2.0)),
+                ((0, 0), ("B", "B"), (2.0, 3.0)),
+                ((0, 0), ("A", "B"), (0.0, 0.0)),
+                ((0, 0), ("B", "A"), (0.0, 0.0)),
+            ),
+        },
+        mediator={
+            "rule": "table",
+            "params": {
+                "cells": ((("A", "A"), 0.5), (("B", "B"), 0.5)),
+            },
+        },
+        punishment=None,
+        default_move={"kind": "constant", "action": "A"},
+        type_encoding=encoding_pairs((0,)),
+        action_decoding=decoding_pairs(("A", "B")),
+        notes="Fair coin between the two pure equilibria.",
     )
 
 
@@ -79,36 +102,39 @@ def battle_of_sexes() -> GameSpec:
     fair coin between the two pure equilibria — the textbook use of a
     correlated device for equity.
     """
-    payoffs = {
-        ("A", "A"): (3.0, 2.0),
-        ("B", "B"): (2.0, 3.0),
-        ("A", "B"): (0.0, 0.0),
-        ("B", "A"): (0.0, 0.0),
-    }
-    game = BayesianGame(
-        n=2,
-        action_sets=[["A", "B"], ["A", "B"]],
-        type_space=TypeSpace.single([0, 0]),
-        utility=lambda t, a: payoffs[tuple(a)],
-        name="battle-of-sexes",
-    )
+    return battle_of_sexes_def().compile()
 
-    def mediator_fn(reports, rng):
-        return ("A", "A") if rng.randrange(2) == 0 else ("B", "B")
 
-    def mediator_dist(reports):
-        return {("A", "A"): 0.5, ("B", "B"): 0.5}
-
-    return GameSpec(
-        name="battle-of-sexes",
-        game=game,
-        mediator_fn=mediator_fn,
-        mediator_dist=mediator_dist,
-        type_encoding={0: 0},
-        action_decoding={0: "A", 1: "B"},
-        punishment=None,
-        default_moves=lambda i, t: "A",
-        notes="Fair coin between the two pure equilibria.",
+def public_goods_def(
+    n: int = 6, threshold: int = 4, pot: float = 6.0, cost: float = 1.0
+) -> GameDef:
+    """The threshold public-goods game as declarative data."""
+    if not threshold <= n:
+        raise GameError("threshold must be <= n")
+    if pot / n <= cost:
+        raise GameError("need pot/n > cost for pivotality")
+    return GameDef(
+        name=f"public-goods(n={n},m={threshold})",
+        n=n,
+        actions=shared_actions(n, ("contribute", "defect")),
+        types={"kind": "single", "profile": (0,) * n},
+        payoff={
+            "kind": "expr",
+            "params": {"m": threshold, "pot": pot, "cost": cost},
+            "where": {"share": "pot / n if count('contribute') >= m else 0.0"},
+            "expr": "share - (cost if me == 'contribute' else 0.0)",
+        },
+        mediator={
+            "rule": "rotate-duty",
+            "params": {"count": threshold, "active": "contribute",
+                       "idle": "defect"},
+        },
+        punishment={"kind": "constant", "action": "defect"},
+        punishment_strength=1,
+        default_move={"kind": "constant", "action": "defect"},
+        type_encoding=encoding_pairs((0,)),
+        action_decoding=decoding_pairs(("contribute", "defect")),
+        notes="Mediator assigns exactly `threshold` contributors.",
     )
 
 
@@ -123,54 +149,33 @@ def public_goods_game(
     designated contributor who shirks forfeits the pot share, which
     outweighs the saved cost when pot/n > cost.
     """
-    if not threshold <= n:
-        raise GameError("threshold must be <= n")
-    if pot / n <= cost:
-        raise GameError("need pot/n > cost for pivotality")
+    return public_goods_def(n, threshold, pot, cost).compile()
 
-    def utility(types, actions):
-        contributors = sum(1 for a in actions if a == "contribute")
-        share = pot / n if contributors >= threshold else 0.0
-        return [
-            share - (cost if actions[i] == "contribute" else 0.0)
-            for i in range(n)
-        ]
 
-    game = BayesianGame(
+def minority_def(n: int = 5) -> GameDef:
+    """The odd-player minority game as declarative data."""
+    if n % 2 == 0:
+        raise GameError("minority game needs an odd player count")
+    return GameDef(
+        name=f"minority(n={n})",
         n=n,
-        action_sets=[["contribute", "defect"]] * n,
-        type_space=TypeSpace.single([0] * n),
-        utility=utility,
-        name=f"public-goods(n={n},m={threshold})",
-    )
-    subsets = list(itertools.combinations(range(n), threshold))
-
-    def mediator_fn(reports, rng):
-        chosen = subsets[rng.randrange(len(subsets))]
-        return tuple(
-            "contribute" if i in chosen else "defect" for i in range(n)
-        )
-
-    def mediator_dist(reports):
-        prob = 1.0 / len(subsets)
-        return {
-            tuple(
-                "contribute" if i in chosen else "defect" for i in range(n)
-            ): prob
-            for chosen in subsets
-        }
-
-    return GameSpec(
-        name=game.name,
-        game=game,
-        mediator_fn=mediator_fn,
-        mediator_dist=mediator_dist,
-        type_encoding={0: 0},
-        action_decoding={0: "contribute", 1: "defect"},
-        punishment=StrategyProfile([ConstantStrategy("defect")] * n),
+        actions=shared_actions(n, (0, 1)),
+        types={"kind": "single", "profile": (0,) * n},
+        payoff={
+            "kind": "expr",
+            "where": {"minority": "1 if count(1) * 2 < n else 0"},
+            "expr": "1.0 if me == minority else 0.0",
+        },
+        mediator={
+            "rule": "rotate-duty",
+            "params": {"count": (n - 1) // 2, "active": 1, "idle": 0},
+        },
+        punishment={"kind": "uniform", "actions": (0, 1)},
         punishment_strength=1,
-        default_moves=lambda i, t: "defect",
-        notes="Mediator assigns exactly `threshold` contributors.",
+        default_move={"kind": "constant", "action": 0},
+        type_encoding=encoding_pairs((0,)),
+        action_decoding=decoding_pairs((0, 1)),
+        notes="Mediator assigns the largest possible minority.",
     )
 
 
@@ -183,44 +188,4 @@ def minority_game(n: int = 5) -> GameSpec:
     each player its side — maximising total welfare while keeping every
     player's ex-ante payoff equal.
     """
-    if n % 2 == 0:
-        raise GameError("minority game needs an odd player count")
-
-    def utility(types, actions):
-        ones = sum(1 for a in actions if a == 1)
-        minority = 1 if ones * 2 < n else 0
-        return [1.0 if actions[i] == minority else 0.0 for i in range(n)]
-
-    game = BayesianGame(
-        n=n,
-        action_sets=[[0, 1]] * n,
-        type_space=TypeSpace.single([0] * n),
-        utility=utility,
-        name=f"minority(n={n})",
-    )
-    size = (n - 1) // 2
-    subsets = list(itertools.combinations(range(n), size))
-
-    def mediator_fn(reports, rng):
-        chosen = subsets[rng.randrange(len(subsets))]
-        return tuple(1 if i in chosen else 0 for i in range(n))
-
-    def mediator_dist(reports):
-        prob = 1.0 / len(subsets)
-        return {
-            tuple(1 if i in chosen else 0 for i in range(n)): prob
-            for chosen in subsets
-        }
-
-    return GameSpec(
-        name=game.name,
-        game=game,
-        mediator_fn=mediator_fn,
-        mediator_dist=mediator_dist,
-        type_encoding={0: 0},
-        action_decoding={0: 0, 1: 1},
-        punishment=StrategyProfile([UniformStrategy([0, 1])] * n),
-        punishment_strength=1,
-        default_moves=lambda i, t: 0,
-        notes="Mediator assigns the largest possible minority.",
-    )
+    return minority_def(n).compile()

@@ -11,6 +11,17 @@ configured :class:`~repro.games.library.GameSpec`. Makers are free to adjust
 ``n`` (some games pin their own player count — ``chicken`` is always
 2-player) or derive secondary parameters from it (``section64`` picks the
 largest legal ``k``).
+
+Beyond the fixed registry names, :func:`make_game` resolves two further
+JSON-safe name forms, both rebuildable from the name alone in any worker
+process:
+
+* ``family@params`` — parameterized game families
+  (:mod:`repro.games.families`): ``consensus@n5``, ``ba@n7t2``,
+  ``random@n4s123``;
+* ``file:<path>`` — a :class:`~repro.games.dsl.GameDef` JSON file on
+  disk, for user-defined games (see the README's "Defining your own
+  game").
 """
 
 from __future__ import annotations
@@ -33,6 +44,9 @@ from repro.games.library_extra import (
     public_goods_game,
     volunteer_game,
 )
+
+FILE_GAME_PREFIX = "file:"
+"""Name prefix resolving a game from a GameDef JSON file."""
 
 GameMaker = Callable[[int], GameSpec]
 
@@ -58,14 +72,45 @@ def register_game(name: str, maker: GameMaker | None = None):
 
 
 def make_game(name: str, n: int) -> GameSpec:
-    """Build the registered game ``name`` for ``n`` players."""
+    """Build the game ``name`` for ``n`` players.
+
+    Resolution order: ``file:<path>`` GameDef JSON files, then exact
+    registry names, then ``family@params`` instances. For family names
+    the parameters in the name win over ``n`` (``consensus@n5`` is a
+    5-player game whatever ``n`` says); ``n`` only fills a family's
+    player count when the name carries no params segment.
+    """
+    if name.startswith(FILE_GAME_PREFIX):
+        return load_game_file(name[len(FILE_GAME_PREFIX):])
+    maker = GAME_REGISTRY.get(name)
+    if maker is not None:
+        return maker(n)
+
+    from repro.games.families import (
+        family_names,
+        is_family_name,
+        make_family_def,
+    )
+
+    if is_family_name(name) or name in family_names():
+        return make_family_def(name, n).compile()
+    raise GameError(
+        f"unknown game {name!r}; known games: {', '.join(game_names())}; "
+        f"known families (as family@params): {', '.join(family_names())}; "
+        f"or {FILE_GAME_PREFIX}<path> for a GameDef JSON file"
+    )
+
+
+def load_game_file(path: str) -> GameSpec:
+    """Compile a :class:`~repro.games.dsl.GameDef` JSON file."""
+    from repro.games.dsl import GameDef
+
     try:
-        maker = GAME_REGISTRY[name]
-    except KeyError:
-        raise GameError(
-            f"unknown game {name!r}; known games: {', '.join(game_names())}"
-        ) from None
-    return maker(n)
+        with open(path) as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise GameError(f"cannot read game file {path!r}: {exc}") from None
+    return GameDef.from_json(text).compile()
 
 
 def game_names() -> list[str]:

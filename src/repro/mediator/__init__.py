@@ -14,8 +14,18 @@ from repro.mediator.minimal import (
     MinimalMediator,
     minimally_informative,
 )
+from repro.mediator.rules import (
+    MEDIATOR_RULES,
+    build_mediator,
+    mediator_rule_names,
+    register_mediator_rule,
+)
 
 __all__ = [
+    "MEDIATOR_RULES",
+    "build_mediator",
+    "mediator_rule_names",
+    "register_mediator_rule",
     "MEDIATOR_ROUNDS_DEFAULT",
     "FnMediator",
     "HonestMediatorPlayer",

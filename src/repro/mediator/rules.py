@@ -1,0 +1,293 @@
+"""Named mediator rules: the declarative face of ``GameSpec.mediator_fn``.
+
+A *mediator rule* is a JSON-safe description of what the trusted mediator
+computes from reported types — ``{"rule": <name>, "params": {...}}`` — that
+:class:`~repro.games.dsl.GameDef` compiles into the two callables every
+:class:`~repro.games.library.GameSpec` carries: ``mediator_fn(reports,
+rng)`` (one sampled recommendation profile) and ``mediator_dist(reports)``
+(the exact distribution the equilibrium checkers need). Keeping both
+derived from one rule means they cannot drift apart.
+
+Shipped rules:
+
+* ``common-coin`` — draw one value from ``values`` uniformly and recommend
+  it to everyone (the consensus / Section 6.4 mediator);
+* ``majority`` — recommend ``high`` to everyone iff a strict majority of
+  reports equals ``high``, else ``low`` (the Byzantine-agreement mediator);
+* ``rotate-duty`` — draw a uniformly random set of exactly ``count``
+  players and recommend ``active`` to them, ``idle`` to the rest (the
+  free-rider / volunteer / public-goods / minority mediator);
+* ``table`` — an explicit distribution over recommendation profiles,
+  either one unconditional ``cells`` list or a ``by_reports`` table keyed
+  by the reported type profile (the correlated-equilibrium mediators:
+  chicken, battle of the sexes, generated random games);
+* ``fixed`` — always recommend the same ``profile``;
+* ``shamir-decode`` — error-correct the reported Shamir shares
+  (Berlekamp–Welch over Z_modulus) and recommend the secret to everyone
+  (the rational-secret-reconstruction mediator).
+
+New rules register through :func:`register_mediator_rule`; a builder takes
+``(params, n)`` and returns the ``(mediator_fn, mediator_dist)`` pair.
+
+Sampling discipline: rules consume randomness through ``rng.randrange``
+with the same call pattern the hand-written library mediators used, so the
+DSL-compiled games replay the exact per-seed draws of the pre-DSL
+implementations (the golden tests pin this).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Sequence
+
+from repro.errors import GameError
+
+MediatorFn = Callable[[Sequence[Any], Any], tuple]
+MediatorDist = Callable[[Sequence[Any]], dict]
+RuleBuilder = Callable[[dict, int], tuple[MediatorFn, MediatorDist]]
+
+MEDIATOR_RULES: dict[str, RuleBuilder] = {}
+
+
+def register_mediator_rule(name: str, builder: RuleBuilder | None = None):
+    """Register a ``(params, n) -> (fn, dist)`` builder; usable as decorator."""
+
+    def _register(fn: RuleBuilder) -> RuleBuilder:
+        if name in MEDIATOR_RULES:
+            raise GameError(f"mediator rule {name!r} is already registered")
+        MEDIATOR_RULES[name] = fn
+        return fn
+
+    if builder is not None:
+        return _register(builder)
+    return _register
+
+
+def mediator_rule_names() -> list[str]:
+    return sorted(MEDIATOR_RULES)
+
+
+def build_mediator(rule: dict, n: int) -> tuple[MediatorFn, MediatorDist]:
+    """Resolve a ``{"rule": ..., "params": {...}}`` description."""
+    if not isinstance(rule, dict) or "rule" not in rule:
+        raise GameError(
+            f"mediator rule must be a dict with a 'rule' key, got {rule!r}"
+        )
+    name = rule["rule"]
+    params = dict(rule.get("params", {}))
+    try:
+        builder = MEDIATOR_RULES[name]
+    except KeyError:
+        raise GameError(
+            f"unknown mediator rule {name!r}; known rules: "
+            f"{', '.join(mediator_rule_names())}"
+        ) from None
+    return builder(params, n)
+
+
+def _require(params: dict, key: str, rule: str) -> Any:
+    try:
+        return params[key]
+    except KeyError:
+        raise GameError(
+            f"mediator rule {rule!r} needs parameter {key!r}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Shipped rules
+# ---------------------------------------------------------------------------
+
+@register_mediator_rule("common-coin")
+def _common_coin(params: dict, n: int):
+    values = [_thaw_value(v) for v in _require(params, "values", "common-coin")]
+    if not values:
+        raise GameError("common-coin needs at least one value")
+
+    def fn(reports, rng):
+        value = values[rng.randrange(len(values))]
+        return tuple(value for _ in range(n))
+
+    def dist(reports):
+        prob = 1.0 / len(values)
+        return {tuple(v for _ in range(n)): prob for v in values}
+
+    return fn, dist
+
+
+@register_mediator_rule("majority")
+def _majority(params: dict, n: int):
+    high = _thaw_value(params.get("high", 1))
+    low = _thaw_value(params.get("low", 0))
+
+    def decide(reports):
+        ones = sum(1 for r in reports if r == high)
+        return high if ones * 2 > len(reports) else low
+
+    def fn(reports, rng):
+        return tuple(decide(reports) for _ in range(n))
+
+    def dist(reports):
+        return {tuple(decide(reports) for _ in range(n)): 1.0}
+
+    return fn, dist
+
+
+@register_mediator_rule("rotate-duty")
+def _rotate_duty(params: dict, n: int):
+    count = int(_require(params, "count", "rotate-duty"))
+    active = _thaw_value(_require(params, "active", "rotate-duty"))
+    idle = _thaw_value(_require(params, "idle", "rotate-duty"))
+    if not 1 <= count <= n:
+        raise GameError(f"rotate-duty count {count} out of range for n={n}")
+    subsets = list(itertools.combinations(range(n), count))
+
+    def profile(chosen):
+        return tuple(active if i in chosen else idle for i in range(n))
+
+    def fn(reports, rng):
+        return profile(subsets[rng.randrange(len(subsets))])
+
+    def dist(reports):
+        prob = 1.0 / len(subsets)
+        return {profile(chosen): prob for chosen in subsets}
+
+    return fn, dist
+
+
+def _thaw_value(value: Any) -> Any:
+    """JSON gives us lists; recommendation entries may be tuples."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_thaw_value(v) for v in value)
+    return value
+
+
+def _parse_cells(cells, n: int) -> list[tuple[tuple, float]]:
+    out = []
+    for entry in cells:
+        try:
+            profile, prob = entry
+        except (TypeError, ValueError):
+            raise GameError(
+                f"table cell must be [profile, prob], got {entry!r}"
+            ) from None
+        profile = tuple(_thaw_value(v) for v in profile)
+        if len(profile) != n:
+            raise GameError(
+                f"table profile {profile!r} has wrong arity (n={n})"
+            )
+        out.append((profile, float(prob)))
+    if not out:
+        raise GameError("mediator table needs at least one cell")
+    total = sum(prob for _, prob in out)
+    if abs(total - 1.0) > 1e-9:
+        raise GameError(f"mediator table probabilities sum to {total}, not 1")
+    return out
+
+
+def _table_sampler(cells: list[tuple[tuple, float]]):
+    profiles = [p for p, _ in cells]
+    probs = [prob for _, prob in cells]
+    uniform = all(abs(p - probs[0]) < 1e-12 for p in probs)
+
+    def sample(rng):
+        if uniform:
+            # Preserves the draw pattern of the hand-written mediators
+            # (one randrange over the cell list) for golden determinism.
+            return profiles[rng.randrange(len(profiles))]
+        roll = rng.random()
+        acc = 0.0
+        for profile, prob in cells:
+            acc += prob
+            if roll <= acc:
+                return profile
+        return profiles[-1]
+
+    return sample
+
+
+@register_mediator_rule("table")
+def _table(params: dict, n: int):
+    if "by_reports" in params:
+        keyed = {}
+        for reports, cells in params["by_reports"]:
+            key = tuple(_thaw_value(v) for v in reports)
+            keyed[key] = _parse_cells(cells, n)
+        samplers = {key: _table_sampler(cells) for key, cells in keyed.items()}
+
+        def lookup(reports):
+            key = tuple(reports)
+            if key not in keyed:
+                raise GameError(
+                    f"mediator table has no row for reports {key!r}"
+                )
+            return key
+
+        def fn(reports, rng):
+            return samplers[lookup(reports)](rng)
+
+        def dist(reports):
+            return dict(keyed[lookup(reports)])
+
+        return fn, dist
+
+    cells = _parse_cells(_require(params, "cells", "table"), n)
+    sample = _table_sampler(cells)
+
+    def fn(reports, rng):
+        return sample(rng)
+
+    def dist(reports):
+        return dict(cells)
+
+    return fn, dist
+
+
+@register_mediator_rule("fixed")
+def _fixed(params: dict, n: int):
+    profile = tuple(_thaw_value(v) for v in _require(params, "profile", "fixed"))
+    if len(profile) != n:
+        raise GameError(f"fixed profile {profile!r} has wrong arity (n={n})")
+
+    def fn(reports, rng):
+        return profile
+
+    def dist(reports):
+        return {profile: 1.0}
+
+    return fn, dist
+
+
+@register_mediator_rule("shamir-decode")
+def _shamir_decode(params: dict, n: int):
+    modulus = int(_require(params, "modulus", "shamir-decode"))
+    degree = int(_require(params, "degree", "shamir-decode"))
+    fallback = int(params.get("fallback", 0))
+    xs = list(range(1, n + 1))
+
+    def decode(reports) -> int:
+        from repro.errors import DecodingError
+        from repro.field import GF, berlekamp_welch
+
+        f = GF(modulus)
+        max_errors = (n - degree - 1) // 2
+        try:
+            poly = berlekamp_welch(
+                f,
+                list(zip(xs, reports)),
+                degree=degree,
+                max_errors=max_errors,
+            )
+            return int(poly(0))
+        except DecodingError:
+            return fallback  # detected cheating: fall back to a fixed value
+
+    def fn(reports, rng):
+        secret = decode(reports)
+        return tuple(secret for _ in range(n))
+
+    def dist(reports):
+        secret = decode(reports)
+        return {tuple(secret for _ in range(n)): 1.0}
+
+    return fn, dist

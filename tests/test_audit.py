@@ -246,16 +246,20 @@ class TestHonestBaselineInvariant:
         for scenario in iter_scenarios():
             if MODE_FOR_THEOREM[scenario.theorem] != "mediator":
                 continue
-            spec = AuditSpec(
-                name=f"probe-{scenario.name}",
-                scenario=scenario.name,
-                seed_count=1,
-            )
-            score = AuditEngine(spec).honest_score()
-            assert score.scored, scenario.name
-            assert score.gain == 0.0, scenario.name
-            assert score.outsider_harm == 0.0, scenario.name
-            checked += 1
+            # Games-axis scenarios are probed one game override at a time
+            # (the engine refuses the ambiguous axis itself).
+            for game in scenario.games or (None,):
+                spec = AuditSpec(
+                    name=f"probe-{scenario.name}",
+                    scenario=scenario.name,
+                    game=game,
+                    seed_count=1,
+                )
+                score = AuditEngine(spec).honest_score()
+                assert score.scored, scenario.name
+                assert score.gain == 0.0, scenario.name
+                assert score.outsider_harm == 0.0, scenario.name
+                checked += 1
         assert checked >= 5
 
     @pytest.mark.slow
@@ -263,16 +267,18 @@ class TestHonestBaselineInvariant:
         for scenario in iter_scenarios():
             if MODE_FOR_THEOREM[scenario.theorem] == "none":
                 continue
-            spec = AuditSpec(
-                name=f"probe-{scenario.name}",
-                scenario=scenario.name,
-                seed_count=1,
-                schedulers=(scenario.schedulers[0],),
-                timings=(scenario.timings[0],),
-            )
-            score = AuditEngine(spec).honest_score()
-            assert score.scored, scenario.name
-            assert score.gain == 0.0, scenario.name
+            for game in scenario.games or (None,):
+                spec = AuditSpec(
+                    name=f"probe-{scenario.name}",
+                    scenario=scenario.name,
+                    game=game,
+                    seed_count=1,
+                    schedulers=(scenario.schedulers[0],),
+                    timings=(scenario.timings[0],),
+                )
+                score = AuditEngine(spec).honest_score()
+                assert score.scored, scenario.name
+                assert score.gain == 0.0, scenario.name
 
 
 class TestSearch:

@@ -151,11 +151,10 @@ class ColludingScheduler(Scheduler):
     def choose(self, in_transit: Sequence[MessageView], step: int):
         if not self._tripped:
             if isinstance(in_transit, TransitView):
-                # Indexed check: only scan the coalition's own out-buckets.
+                # O(coalition) check against the pool's self-message index.
                 self._tripped = any(
-                    v.recipient == member
+                    in_transit.has_self_message(member)
                     for member in self.coalition
-                    for v in in_transit.from_sender(member)
                 )
             else:
                 self._tripped = any(

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import json
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
@@ -178,17 +179,48 @@ class AuditResult:
 # Drivers
 # ---------------------------------------------------------------------------
 
-def _engine(
+@contextmanager
+def runner_for(
+    parallel: bool = False,
+    processes: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    runner: Optional[ExperimentRunner] = None,
+):
+    """``runner`` as-is, or an owned one closed when the block exits.
+
+    A caller-supplied ``runner`` is reused and left open: sharing one
+    runner across many audits is exactly how a frontier sweep or fuzz
+    campaign keeps its worker pool and artifact caches warm between
+    batches. Passing a runner *and* runner-construction arguments is a
+    contradiction (the arguments would be silently ignored) and raises.
+    """
+    if runner is not None:
+        if parallel or processes is not None or timeout_s is not None:
+            raise ExperimentError(
+                "pass either runner= or the parallel/processes/timeout_s "
+                "construction arguments, not both — a shared runner "
+                "already carries its own configuration"
+            )
+        yield runner
+        return
+    with ExperimentRunner(
+        parallel=parallel, processes=processes, timeout_s=timeout_s
+    ) as owned:
+        yield owned
+
+
+@contextmanager
+def _engine_for(
     audit: Union[str, AuditSpec],
     parallel: bool,
     processes: Optional[int],
     timeout_s: Optional[float],
-) -> AuditEngine:
+    runner: Optional[ExperimentRunner],
+):
+    """An :class:`AuditEngine` over the shared-or-owned runner."""
     spec = get_audit(audit) if isinstance(audit, str) else audit
-    runner = ExperimentRunner(
-        parallel=parallel, processes=processes, timeout_s=timeout_s
-    )
-    return AuditEngine(spec, runner=runner)
+    with runner_for(parallel, processes, timeout_s, runner) as active:
+        yield AuditEngine(spec, runner=active)
 
 
 def run_audit(
@@ -196,17 +228,18 @@ def run_audit(
     parallel: bool = False,
     processes: Optional[int] = None,
     timeout_s: Optional[float] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> AuditResult:
     """Audit the spec's own (k, t) cell; return a one-cell result."""
-    engine = _engine(audit, parallel, processes, timeout_s)
-    start = time.perf_counter()
-    cell = engine.run_cell()
-    return AuditResult(
-        spec=engine.spec,
-        cells=(cell,),
-        elapsed_s=time.perf_counter() - start,
-        parallel=engine.runner.parallel,
-    )
+    with _engine_for(audit, parallel, processes, timeout_s, runner) as engine:
+        start = time.perf_counter()
+        cell = engine.run_cell()
+        return AuditResult(
+            spec=engine.spec,
+            cells=(cell,),
+            elapsed_s=time.perf_counter() - start,
+            parallel=engine.runner.parallel,
+        )
 
 
 def run_frontier(
@@ -216,6 +249,7 @@ def run_frontier(
     parallel: bool = False,
     processes: Optional[int] = None,
     timeout_s: Optional[float] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> AuditResult:
     """Sweep the (k, t) rectangle; return the max observed gain per cell.
 
@@ -223,20 +257,22 @@ def run_frontier(
     to its t. Cells whose honest baseline cannot run (e.g. a theorem bound
     violation) are reported with ``error`` set instead of failing the sweep.
     """
-    engine = _engine(audit, parallel, processes, timeout_s)
-    if ks is None:
-        ks = range(1, max(engine.k, 1) + 1)
-    if ts is None:
-        ts = range(0, engine.t + 1)
-    ks = tuple(ks)
-    ts = tuple(ts)
-    if not ks or not ts:
-        raise ExperimentError("frontier needs at least one k and one t value")
-    start = time.perf_counter()
-    cells = tuple(engine.run_cell(k, t) for k in ks for t in ts)
-    return AuditResult(
-        spec=engine.spec,
-        cells=cells,
-        elapsed_s=time.perf_counter() - start,
-        parallel=engine.runner.parallel,
-    )
+    with _engine_for(audit, parallel, processes, timeout_s, runner) as engine:
+        if ks is None:
+            ks = range(1, max(engine.k, 1) + 1)
+        if ts is None:
+            ts = range(0, engine.t + 1)
+        ks = tuple(ks)
+        ts = tuple(ts)
+        if not ks or not ts:
+            raise ExperimentError(
+                "frontier needs at least one k and one t value"
+            )
+        start = time.perf_counter()
+        cells = tuple(engine.run_cell(k, t) for k in ks for t in ts)
+        return AuditResult(
+            spec=engine.spec,
+            cells=cells,
+            elapsed_s=time.perf_counter() - start,
+            parallel=engine.runner.parallel,
+        )

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.audit.frontier import AuditResult, run_audit
+from repro.audit.frontier import AuditResult, run_audit, runner_for
 from repro.audit.registry import AuditSpec
 from repro.errors import ExperimentError
+from repro.experiments.runner import ExperimentRunner
 
 FUZZ_SCENARIO = "mediator-fuzz"
 """The scenario template fuzz audits override the game of."""
@@ -79,29 +80,32 @@ def run_fuzz(
     parallel: bool = False,
     processes: Optional[int] = None,
     timeout_s: Optional[float] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> list[AuditResult]:
     """Audit a stream of generated games; one :class:`AuditResult` each.
 
     ``games`` overrides the generated name stream with explicit game
     names (family instances or ``file:`` paths) — the driver then fuzzes
-    exactly those.
+    exactly those. The whole campaign shares one
+    :class:`~repro.experiments.runner.ExperimentRunner` (``runner`` if
+    given, else one owned by this call), so the worker pool and artifact
+    caches stay warm from game to game.
     """
     names = (
         tuple(games) if games is not None
         else fuzz_game_names(count, seed, n, actions, types)
     )
-    return [
-        run_audit(
-            fuzz_audit_spec(
-                game, k=k, t=t, budget=budget, seed_count=seed_count,
-                method=method,
-            ),
-            parallel=parallel,
-            processes=processes,
-            timeout_s=timeout_s,
-        )
-        for game in names
-    ]
+    with runner_for(parallel, processes, timeout_s, runner) as shared:
+        return [
+            run_audit(
+                fuzz_audit_spec(
+                    game, k=k, t=t, budget=budget, seed_count=seed_count,
+                    method=method,
+                ),
+                runner=shared,
+            )
+            for game in names
+        ]
 
 
 def fuzz_summary(results: Sequence[AuditResult]) -> dict:

@@ -188,6 +188,8 @@ class SessionHost(Process):
         return self._ctx.rng
 
     def _flush_pending(self) -> None:
+        if not self._pending_sends:
+            return
         pending, self._pending_sends = self._pending_sends, []
         for sid, recipient, payload in pending:
             self._ctx.send(recipient, (sid, payload))

@@ -190,6 +190,7 @@ class CheapTalkGame:
         step_limit: int = 600_000,
         record_payloads: bool = False,
         timing: Optional[TimingModel] = None,
+        record_trace: bool = True,
     ) -> MediatorRun:
         types = tuple(types)
         setup = self.build_setup(seed)
@@ -200,6 +201,7 @@ class CheapTalkGame:
             step_limit=step_limit,
             record_payloads=record_payloads,
             timing=timing,
+            record_trace=record_trace,
         )
         result = runtime.run()
         actions = self.resolve_actions(types, result)

@@ -22,6 +22,9 @@ Commands:
   ``games show <name>`` prints one game's detail, including its
   declarative ``GameDef`` JSON when the game is defined as data
   (``consensus@n5``, ``random@n4s123``, ``file:my_game.json`` all work);
+* ``bench`` — run the unified quick-benchmark suite and emit one
+  ``bench_suite.json`` (``--baseline`` soft-warns on throughput
+  regressions without failing);
 * ``check`` — run the exact ideal-mediator robustness checker on a game;
 * ``compile`` — compile a game through one of the four theorems and run it;
 * ``attack`` — mount the Section 6.4 leak attack (leaky vs minimal).
@@ -31,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from statistics import mean
 
@@ -274,17 +278,47 @@ def _print_result(result, per_run: bool) -> None:
     )
 
 
+def _print_profile(result) -> None:
+    """The ``--profile`` breakdown: prepare vs run vs payoff, cache, pool."""
+    stats = result.stats
+    if not stats:
+        print("(no runner stats recorded)")
+        return
+    phases = stats.get("phases", {})
+    cache = stats.get("cache", {})
+    pool = stats.get("pool", {})
+    accounted = sum(phases.values())
+    rows = [
+        (phase, f"{seconds:.3f}s",
+         f"{seconds / accounted * 100:.0f}%" if accounted else "-")
+        for phase, seconds in (
+            ("prepare (game+compile+deviations)", phases.get("prepare_s", 0.0)),
+            ("run (simulation)", phases.get("run_s", 0.0)),
+            ("payoff", phases.get("payoff_s", 0.0)),
+        )
+    ]
+    print(f"\nprofile — {result.spec.name}:")
+    print(format_table(["phase", "time", "share"], rows))
+    hits, misses = cache.get("hits", 0), cache.get("misses", 0)
+    rate = f"{hits / (hits + misses) * 100:.0f}%" if hits + misses else "-"
+    print(
+        f"artifact cache: {hits} hits / {misses} misses ({rate} hit rate); "
+        f"pool: {'reused' if pool.get('reused') else 'fresh' if pool.get('used') else 'serial'}"
+        f" ({pool.get('processes', 1)} process(es))"
+    )
+
+
 def _run_and_report(args, per_run: bool) -> None:
     from repro.experiments import ExperimentRunner
 
     specs = _resolve_scenarios(args)
     try:
-        runner = ExperimentRunner(
+        with ExperimentRunner(
             parallel=args.parallel,
             processes=args.processes,
             timeout_s=args.timeout,
-        )
-        results = [runner.run(spec) for spec in specs]
+        ) as runner:
+            results = [runner.run(spec) for spec in specs]
     except ExperimentError as exc:
         sys.exit(str(exc))
     if getattr(args, "csv", None):
@@ -296,6 +330,8 @@ def _run_and_report(args, per_run: bool) -> None:
         return
     for result in results:
         _print_result(result, per_run=per_run)
+        if getattr(args, "profile", False):
+            _print_profile(result)
 
 
 def cmd_run(args) -> None:
@@ -491,20 +527,25 @@ def cmd_audit_list(args) -> None:
     ))
 
 
+def _audit_runner(args):
+    """One shared runner for every audit of an invocation: the worker pool
+    and artifact caches stay warm across specs and across search batches."""
+    from repro.experiments import ExperimentRunner
+
+    return ExperimentRunner(
+        parallel=args.parallel,
+        processes=args.processes,
+        timeout_s=args.timeout,
+    )
+
+
 def cmd_audit_run(args) -> None:
     from repro.audit import run_audit
 
     specs = _resolve_audits(args)
     try:
-        results = [
-            run_audit(
-                spec,
-                parallel=args.parallel,
-                processes=args.processes,
-                timeout_s=args.timeout,
-            )
-            for spec in specs
-        ]
+        with _audit_runner(args) as runner:
+            results = [run_audit(spec, runner=runner) for spec in specs]
     except (ExperimentError, GameError) as exc:
         sys.exit(str(exc))
     _audit_and_report(args, results)
@@ -514,22 +555,21 @@ def cmd_audit_fuzz(args) -> None:
     from repro.audit import fuzz_summary, run_fuzz
 
     try:
-        results = run_fuzz(
-            count=args.count,
-            seed=args.seed,
-            n=args.n,
-            actions=args.actions,
-            types=args.types,
-            k=args.k,
-            t=args.t,
-            budget=args.budget if args.budget is not None else 32,
-            seed_count=args.seeds if args.seeds is not None else 3,
-            method=args.method or "auto",
-            games=args.games or None,
-            parallel=args.parallel,
-            processes=args.processes,
-            timeout_s=args.timeout,
-        )
+        with _audit_runner(args) as runner:
+            results = run_fuzz(
+                count=args.count,
+                seed=args.seed,
+                n=args.n,
+                actions=args.actions,
+                types=args.types,
+                k=args.k,
+                t=args.t,
+                budget=args.budget if args.budget is not None else 32,
+                seed_count=args.seeds if args.seeds is not None else 3,
+                method=args.method or "auto",
+                games=args.games or None,
+                runner=runner,
+            )
     except (ExperimentError, GameError) as exc:
         sys.exit(str(exc))
     if getattr(args, "csv", None):
@@ -564,22 +604,78 @@ def cmd_audit_fuzz(args) -> None:
     )
 
 
+def cmd_bench(args) -> None:
+    from repro.bench import (
+        bench_names,
+        compare_to_baseline,
+        load_suite,
+        run_suite,
+    )
+
+    try:
+        suite = run_suite(names=args.benches or None, quick=not args.full)
+    except ExperimentError as exc:
+        sys.exit(str(exc))
+    warnings = []
+    if args.baseline:
+        try:
+            warnings = compare_to_baseline(suite, load_suite(args.baseline))
+        except ExperimentError as exc:
+            sys.exit(str(exc))
+        suite["regressions"] = warnings
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(suite, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(suite, indent=2, sort_keys=True))
+    else:
+        rows = [
+            (
+                row["name"],
+                row["cells"],
+                f"{row['wall_s']:.3f}s",
+                f"{row['cells_per_s']:.1f}",
+                f"{row['speedup']:.2f}x" if "speedup" in row else "-",
+            )
+            for row in suite["benches"]
+        ]
+        print(format_table(
+            ["bench", "cells", "wall", "cells/s", "speedup vs cold"], rows
+        ))
+        totals = suite["totals"]
+        print(
+            f"\n{totals['benches']} bench(es) in {totals['wall_s']:.1f}s, "
+            f"geomean warm-over-cold speedup "
+            f"{totals['speedup_geomean']:.2f}x "
+            f"(known benches: {', '.join(bench_names())})"
+        )
+    # The regression check is a *soft* warn: report, never fail — CI decides
+    # what to do with the annotation.
+    for warning in warnings:
+        print(f"WARNING: bench regression — {warning}", file=sys.stderr)
+        if os.environ.get("GITHUB_ACTIONS"):
+            print(f"::warning title=bench regression::{warning}")
+
+
 def cmd_audit_frontier(args) -> None:
     from repro.audit import run_frontier
 
     specs = _resolve_audits(args)
     try:
-        results = [
-            run_frontier(
-                spec,
-                ks=range(1, args.k_max + 1) if args.k_max is not None else None,
-                ts=range(0, args.t_max + 1) if args.t_max is not None else None,
-                parallel=args.parallel,
-                processes=args.processes,
-                timeout_s=args.timeout,
-            )
-            for spec in specs
-        ]
+        with _audit_runner(args) as runner:
+            results = [
+                run_frontier(
+                    spec,
+                    ks=(range(1, args.k_max + 1)
+                        if args.k_max is not None else None),
+                    ts=(range(0, args.t_max + 1)
+                        if args.t_max is not None else None),
+                    runner=runner,
+                )
+                for spec in specs
+            ]
     except (ExperimentError, GameError) as exc:
         sys.exit(str(exc))
     _audit_and_report(args, results)
@@ -619,6 +715,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--record-payloads", action="store_true",
                        help="capture full traces (with payloads) into the "
                             "run records")
+        p.add_argument("--profile", action="store_true",
+                       help="print the prepare/run/payoff timing breakdown "
+                            "plus cache and pool statistics per scenario")
         p.add_argument("--json", action="store_true",
                        help="emit ExperimentResult JSON instead of tables")
 
@@ -760,6 +859,25 @@ def build_parser() -> argparse.ArgumentParser:
                                   help="sweep t from 0 to T (default: the "
                                        "audit's t)")
     p_audit_frontier.set_defaults(func=cmd_audit_frontier)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the unified benchmark suite (bench_suite.json)"
+    )
+    p_bench.add_argument("benches", nargs="*", metavar="bench",
+                         help="bench name(s) to run (default: all)")
+    p_bench.add_argument("--quick", action="store_true", default=True,
+                         help="quick mode: small grids (the default)")
+    p_bench.add_argument("--full", action="store_true",
+                         help="full mode: the larger measurement grids")
+    p_bench.add_argument("--json", action="store_true",
+                         help="print the bench_suite JSON document")
+    p_bench.add_argument("--out", default=None, metavar="PATH",
+                         help="also write the suite JSON to PATH")
+    p_bench.add_argument("--baseline", default=None, metavar="PATH",
+                         help="compare cells/sec against a committed "
+                              "baseline suite and soft-warn on >30%% "
+                              "regressions (never fails)")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_demo = sub.add_parser("demo", help="mediator vs cheap talk")
     common(p_demo)

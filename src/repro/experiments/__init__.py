@@ -19,6 +19,13 @@ from repro.experiments.spec import (
     THEOREMS,
     ScenarioSpec,
 )
+from repro.experiments.cache import (
+    DEFAULT_CACHE_SIZE,
+    ArtifactCache,
+    CellKey,
+    PreparedCell,
+    prepare_cell,
+)
 from repro.experiments.results import ExperimentResult, RunRecord
 from repro.experiments.registry import (
     get_scenario,
@@ -55,6 +62,11 @@ __all__ = [
     "ExperimentResult",
     "ExperimentRunner",
     "RunTask",
+    "ArtifactCache",
+    "CellKey",
+    "PreparedCell",
+    "prepare_cell",
+    "DEFAULT_CACHE_SIZE",
     "expand_grid",
     "execute_task",
     "run_scenario",

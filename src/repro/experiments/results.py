@@ -99,6 +99,10 @@ class ExperimentResult:
     records: tuple[RunRecord, ...]
     elapsed_s: float = field(default=0.0, compare=False)
     parallel: bool = field(default=False, compare=False)
+    stats: dict = field(default_factory=dict, compare=False)
+    """Execution bookkeeping from the runner (excluded from equality, like
+    the wall-clock fields): artifact-cache hits/misses, the
+    prepare/run/payoff phase timing breakdown, and pool usage/reuse."""
 
     # -- selections ----------------------------------------------------------
 
@@ -276,6 +280,7 @@ class ExperimentResult:
             "records": [r.to_dict() for r in self.records],
             "elapsed_s": self.elapsed_s,
             "parallel": self.parallel,
+            "stats": self.stats,
         }
 
     @classmethod
@@ -292,6 +297,7 @@ class ExperimentResult:
             records=tuple(RunRecord.from_dict(r) for r in record_data),
             elapsed_s=float(data.get("elapsed_s", 0.0)),
             parallel=bool(data.get("parallel", False)),
+            stats=dict(data.get("stats") or {}),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:

@@ -99,6 +99,7 @@ class MediatorGame:
         step_limit: int = 200_000,
         record_payloads: bool = False,
         timing: Optional[TimingModel] = None,
+        record_trace: bool = True,
     ) -> MediatorRun:
         types = tuple(types)
         runtime = Runtime(
@@ -109,6 +110,7 @@ class MediatorGame:
             step_limit=step_limit,
             record_payloads=record_payloads,
             timing=timing,
+            record_trace=record_trace,
         )
         result = runtime.run()
         actions = self.resolve_actions(types, result)

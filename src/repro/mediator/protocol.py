@@ -107,23 +107,46 @@ class FnMediator(Process):
         self.current_round = 0
         self.stopped = False
         self._round_state: Any = None
+        # Incremental completeness index over ``reports`` (which is
+        # first-one-wins and append-only, so these never need rollback):
+        # per-player round → value, how many rounds are present contiguously
+        # from 0, and the final per-(pid, r) validity verdicts.
+        self._player_rounds: dict[int, dict[int, Any]] = {}
+        self._contiguous: dict[int, int] = {}
+        self._complete_verdicts: dict[tuple[int, int], bool] = {}
 
     # -- helpers -----------------------------------------------------------
 
+    def _judge_complete(self, pid: int, r: int) -> bool:
+        """Validity of ``pid``'s (fully present) reports for rounds 0..r."""
+        mine = self._player_rounds[pid]
+        values = [mine[rr] for rr in range(r + 1)]
+        if len({repr(v) for v in values}) != 1:
+            return False  # inconsistent across rounds: invalid
+        if values[0] not in self.spec.game.type_space.player_types(pid):
+            return False  # not a type this player could have
+        return True
+
     def _complete_through(self, r: int) -> list[int]:
-        """Players with valid, consistent reports for rounds 0..r."""
+        """Players with valid, consistent reports for rounds 0..r.
+
+        Hot path (called on every report): players missing a round are
+        skipped in O(1) via the contiguity index, and each decidable
+        (pid, r) verdict is computed exactly once — reports never change,
+        so verdicts are final.
+        """
         out = []
+        contiguous = self._contiguous
+        verdicts = self._complete_verdicts
         for pid in range(self.n):
-            values = [
-                self.reports.get(rr, {}).get(pid) for rr in range(r + 1)
-            ]
-            if any(v is None for v in values):
-                continue
-            if len({repr(v) for v in values}) != 1:
-                continue  # inconsistent across rounds: invalid
-            if values[0] not in self.spec.game.type_space.player_types(pid):
-                continue  # not a type this player could have
-            out.append(pid)
+            if contiguous.get(pid, 0) <= r:
+                continue  # some round 0..r still missing
+            verdict = verdicts.get((pid, r))
+            if verdict is None:
+                verdict = self._judge_complete(pid, r)
+                verdicts[(pid, r)] = verdict
+            if verdict:
+                out.append(pid)
         return out
 
     def _advance(self, ctx: Context) -> None:
@@ -179,4 +202,10 @@ class FnMediator(Process):
         if sender in bucket:
             return  # duplicate round report: first one wins
         bucket[sender] = value
+        mine = self._player_rounds.setdefault(sender, {})
+        mine[r] = value
+        contiguous = self._contiguous.get(sender, 0)
+        while contiguous in mine:
+            contiguous += 1
+        self._contiguous[sender] = contiguous
         self._advance(ctx)

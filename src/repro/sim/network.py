@@ -27,7 +27,7 @@ START_SIGNAL = "__START__"
 """Payload of the synthetic game-start signal every process receives first."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A point-to-point message inside the simulated network."""
 
@@ -56,7 +56,7 @@ class Message:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MessageView:
     """What a scheduler is allowed to see about an in-transit message."""
 
@@ -144,6 +144,16 @@ class TransitView:
         bucket = self._net._by_sender.get(sender)
         return (m.view() for m in bucket.values()) if bucket else iter(())
 
+    def has_self_message(self, sender: int) -> bool:
+        """Is a ``sender → sender`` message in transit? O(1) (indexed).
+
+        Self-messages are the covert-channel signal relaxed colluding
+        environments watch for (Section 6.1), and the pool counts them on
+        send/remove so the watch is O(coalition) per step instead of a
+        scan over the sender's whole out-bucket.
+        """
+        return self._net._self_counts.get(sender, 0) > 0
+
 
 TransitPool = Union[TransitView, "Iterable[MessageView]"]
 """What a scheduler's ``choose`` may receive: the kernel passes a
@@ -161,6 +171,7 @@ class Network:
         self._by_recipient: dict[int, dict[int, Message]] = {}
         self._by_sender: dict[int, dict[int, Message]] = {}
         self._by_batch: dict[int, dict[int, Message]] = {}
+        self._self_counts: dict[int, int] = {}
         self._view = TransitView(self)
         self.total_sent = 0
         self.total_delivered = 0
@@ -201,6 +212,8 @@ class Network:
             by_b[batch][uid] = msg
         else:
             by_b[batch] = {uid: msg}
+        if sender == recipient:
+            self._self_counts[sender] = self._self_counts.get(sender, 0) + 1
         self.total_sent += 1
         return msg
 
@@ -220,6 +233,12 @@ class Network:
         del bucket[uid]
         if not bucket:
             del self._by_batch[msg.batch]
+        if msg.sender == msg.recipient:
+            remaining = self._self_counts[msg.sender] - 1
+            if remaining:
+                self._self_counts[msg.sender] = remaining
+            else:
+                del self._self_counts[msg.sender]
         return msg
 
     def deliver(self, uid: int, step: int) -> Message:

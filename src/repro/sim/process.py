@@ -17,6 +17,8 @@ from repro.errors import SimulationError
 class Context:
     """Capability object passed to process callbacks for one activation."""
 
+    __slots__ = ("_runtime", "pid", "step", "_batch", "rng")
+
     def __init__(self, runtime, pid: int, step: int, batch: int) -> None:
         self._runtime = runtime
         self.pid = pid
@@ -47,7 +49,8 @@ class Context:
         return self.pid in self._runtime.outputs
 
     def log(self, event: str, **data: Any) -> None:
-        self._runtime.trace.note(self.pid, event, data)
+        if self._runtime._trace_on:
+            self._runtime.trace.note(self.pid, event, data)
 
 
 class Process:

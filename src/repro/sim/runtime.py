@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.errors import SchedulerError, SimulationError, StepLimitExceeded
-from repro.sim.network import Message, Network, START_SIGNAL
+from repro.sim.network import Message, Network, START_SIGNAL, TransitView
 from repro.sim.process import Context, Process
 from repro.sim.scheduler import Scheduler
 from repro.sim.timing import Asynchronous, TimingModel
@@ -93,6 +93,7 @@ class Runtime:
         raise_on_step_limit: bool = True,
         timing: Optional[TimingModel] = None,
         rng_namespace: str = "proc",
+        record_trace: bool = True,
     ) -> None:
         if not processes:
             raise SimulationError("need at least one process")
@@ -106,7 +107,18 @@ class Runtime:
         self.rng_namespace = rng_namespace
 
         self.network = Network()
+        # Pure Asynchronous timing has no-op observation hooks and an
+        # eligibility pool that is always the whole in-transit view; the
+        # loop skips those calls entirely on this (dominant) fast path.
+        # Exact type check: a subclass may override any hook.
+        self._timing_passive = type(self.timing) is Asynchronous
         self.trace = Trace(record_payloads=record_payloads)
+        self._trace_on = record_trace
+        """``record_trace=False`` skips event recording entirely (the trace
+        stays empty). Runs are otherwise bit-identical — counters come from
+        the network — so batch sweeps that never read traces opt out of
+        per-message event construction."""
+        self._contexts: dict[int, Context] = {}
         self.outputs: dict[int, Any] = {}
         self.halted: set[int] = set()
         self.started: set[int] = set()
@@ -125,24 +137,43 @@ class Runtime:
             self._rngs[pid] = self._rng_tree.child(self.rng_namespace, pid).rng
         return self._rngs[pid]
 
+    def _context(self, pid: int, batch: int) -> Context:
+        """The per-pid activation context, refreshed for this activation.
+
+        Contexts are capability objects whose only activation-varying state
+        is ``(step, batch)``; reusing one per pid avoids an allocation and
+        an rng lookup per delivery. Processes that stash their context see
+        the same object every activation.
+        """
+        ctx = self._contexts.get(pid)
+        if ctx is None:
+            ctx = Context(self, pid, self._step, batch)
+            self._contexts[pid] = ctx
+        else:
+            ctx.step = self._step
+            ctx._batch = batch
+        return ctx
+
     def _send_from(self, sender: int, recipient: int, payload: Any, batch: int) -> None:
         if recipient not in self.processes:
             raise SimulationError(f"send to unknown process {recipient}")
         if sender == self.mediator_pid:
             self._mediator_batches.add(batch)
         msg = self.network.send(sender, recipient, payload, self._step, batch)
-        self.timing.on_send(msg, self._step)
-        self.trace.add(
-            TraceEvent(
-                step=self._step,
-                kind="send",
-                pid=sender,
-                sender=sender,
-                recipient=recipient,
-                uid=msg.uid,
-                payload=payload if self.trace.record_payloads else None,
+        if not self._timing_passive:
+            self.timing.on_send(msg, self._step)
+        if self._trace_on:
+            self.trace.add(
+                TraceEvent(
+                    step=self._step,
+                    kind="send",
+                    pid=sender,
+                    sender=sender,
+                    recipient=recipient,
+                    uid=msg.uid,
+                    payload=payload if self.trace.record_payloads else None,
+                )
             )
-        )
         if recipient in self.halted:
             self.network.drop(msg.uid)
 
@@ -150,15 +181,18 @@ class Runtime:
         if pid in self.outputs:
             raise SimulationError(f"process {pid} attempted to output twice")
         self.outputs[pid] = action
-        self.trace.add(
-            TraceEvent(step=self._step, kind="output", pid=pid, payload=action)
-        )
+        if self._trace_on:
+            self.trace.add(
+                TraceEvent(step=self._step, kind="output", pid=pid,
+                           payload=action)
+            )
 
     def _record_halt(self, pid: int) -> None:
         if pid in self.halted:
             return
         self.halted.add(pid)
-        self.trace.add(TraceEvent(step=self._step, kind="halt", pid=pid))
+        if self._trace_on:
+            self.trace.add(TraceEvent(step=self._step, kind="halt", pid=pid))
         self.network.discard_to({pid})
 
     # -- services used by timing models --------------------------------------
@@ -175,8 +209,11 @@ class Runtime:
                 continue
             process = self.processes[pid]
             batch = self.network.new_batch()
-            ctx = Context(self, pid, self._step, batch)
-            self.trace.add(TraceEvent(step=self._step, kind="tick", pid=pid))
+            ctx = self._context(pid, batch)
+            if self._trace_on:
+                self.trace.add(
+                    TraceEvent(step=self._step, kind="tick", pid=pid)
+                )
             process.on_tick(ctx, round_no)
 
     # -- the main loop -------------------------------------------------------
@@ -187,25 +224,35 @@ class Runtime:
         self._inject_start_signals()
         stopped_by_scheduler = False
         all_pids = set(self.processes)
+        # Localize per-iteration state: the loop runs once per delivered
+        # message and attribute lookups are a measurable share of it.
+        timing_passive = self._timing_passive
+        network_view = self.network.view
+        choose = self.scheduler.choose
+        step_limit = self.step_limit
+        halted = self.halted
 
         while True:
-            if self._step >= self.step_limit:
+            if self._step >= step_limit:
                 if self.raise_on_step_limit:
                     raise StepLimitExceeded(
                         f"no quiescence after {self.step_limit} steps "
                         f"(scheduler {self.scheduler.name})"
                     )
                 break
-            if self.halted >= all_pids:
+            if halted >= all_pids:
                 break
 
-            pool = self.timing.eligible(self.network, self._step)
+            if timing_passive:
+                pool = network_view()
+            else:
+                pool = self.timing.eligible(self.network, self._step)
             if not len(pool):
                 if self.timing.advance(self):
                     continue
                 break  # quiesced: nothing deliverable, time cannot advance
 
-            uid = self.scheduler.choose(pool, self._step)
+            uid = choose(pool, self._step)
             if uid is None:
                 if not self.scheduler.is_relaxed():
                     raise SchedulerError(
@@ -221,16 +268,17 @@ class Runtime:
 
         if stopped_by_scheduler:
             for msg in self.network.in_transit():
-                self.trace.add(
-                    TraceEvent(
-                        step=self._step,
-                        kind="drop",
-                        pid=msg.recipient,
-                        sender=msg.sender,
-                        recipient=msg.recipient,
-                        uid=msg.uid,
+                if self._trace_on:
+                    self.trace.add(
+                        TraceEvent(
+                            step=self._step,
+                            kind="drop",
+                            pid=msg.recipient,
+                            sender=msg.sender,
+                            recipient=msg.recipient,
+                            uid=msg.uid,
+                        )
                     )
-                )
                 self.network.drop(msg.uid)
 
         live = set(self.processes) - self.halted
@@ -261,7 +309,8 @@ class Runtime:
         for pid in sorted(self.processes):
             batch = self.network.new_batch()
             msg = self.network.send(ENVIRONMENT_PID, pid, START_SIGNAL, 0, batch)
-            self.timing.on_send(msg, 0)
+            if not self._timing_passive:
+                self.timing.on_send(msg, 0)
             self._env_sent += 1
 
     def _forced_batch_completion(self, pool=None) -> Optional[int]:
@@ -280,9 +329,11 @@ class Runtime:
             forced = self._forced_candidate(pool)
             if forced is not None:
                 return forced
-        return self._forced_candidate(self.network.in_transit_views())
+        return self._forced_candidate(self.network.view())
 
     def _forced_candidate(self, views) -> Optional[int]:
+        if isinstance(views, TransitView):
+            return self._forced_candidate_indexed(views)
         candidates = []
         for view in views:
             # The environment only ever injects start signals, so the
@@ -299,34 +350,60 @@ class Runtime:
             return None
         return min(candidates)
 
+    def _forced_candidate_indexed(self, views: TransitView) -> Optional[int]:
+        """The same forced-delivery obligation, answered from the pool's
+        buckets instead of a full scan — a relaxed scheduler that has
+        stopped delivering otherwise pays O(in-transit) per drain step.
+        """
+        candidates = [
+            view.uid
+            for view in views.from_sender(ENVIRONMENT_PID)
+            if view.recipient not in self.halted
+        ]
+        for batch in self._mediator_batches:
+            if batch in self._delivered_batches:
+                uid = views.oldest_in_batch(batch)
+                if uid is not None:
+                    candidates.append(uid)
+        if not candidates:
+            return None
+        return min(candidates)
+
     def _deliver(self, uid: int) -> None:
         try:
             msg = self.network.deliver(uid, self._step)
         except KeyError:
             raise SchedulerError(f"scheduler chose unknown message uid {uid}")
         self._step += 1
-        self.timing.on_deliver(msg, self._step)
+        if not self._timing_passive:
+            self.timing.on_deliver(msg, self._step)
         self._delivered_batches.add(msg.batch)
-        self.trace.add(
-            TraceEvent(
-                step=self._step,
-                kind="deliver",
-                pid=msg.recipient,
-                sender=msg.sender,
-                recipient=msg.recipient,
-                uid=msg.uid,
-                payload=msg.payload if self.trace.record_payloads else None,
+        if self._trace_on:
+            self.trace.add(
+                TraceEvent(
+                    step=self._step,
+                    kind="deliver",
+                    pid=msg.recipient,
+                    sender=msg.sender,
+                    recipient=msg.recipient,
+                    uid=msg.uid,
+                    payload=(
+                        msg.payload if self.trace.record_payloads else None
+                    ),
+                )
             )
-        )
         pid = msg.recipient
         if pid in self.halted:
             return
         process = self.processes[pid]
         self._current_batch = self.network.new_batch()
-        ctx = Context(self, pid, self._step, self._current_batch)
+        ctx = self._context(pid, self._current_batch)
         if pid not in self.started:
             self.started.add(pid)
-            self.trace.add(TraceEvent(step=self._step, kind="start", pid=pid))
+            if self._trace_on:
+                self.trace.add(
+                    TraceEvent(step=self._step, kind="start", pid=pid)
+                )
             process.on_start(ctx)
         if msg.payload == START_SIGNAL and msg.sender == ENVIRONMENT_PID:
             return

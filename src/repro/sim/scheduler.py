@@ -23,10 +23,18 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
+from itertools import islice
 from typing import Iterable, Optional
 
 from repro.errors import SchedulerError
 from repro.sim.network import MessageView, TransitPool, TransitView
+
+
+def _nth_uid(view: TransitView, index: int) -> int:
+    """The ``index``-th in-transit uid (ascending), without a list copy."""
+    if index == 0:
+        return view.min_uid()
+    return next(islice(view.uids(), index, None))
 
 
 class Scheduler(ABC):
@@ -82,7 +90,10 @@ class RandomScheduler(Scheduler):
             if not in_transit:
                 return None
             # uids() is already ascending: same draw as sorting views.
-            return self._rng.choice(list(in_transit.uids()))
+            # randrange(m) consumes the rng exactly like choice()'s
+            # _randbelow(m), so indexing the key view lazily (no list
+            # materialization per step) picks the identical uid.
+            return _nth_uid(in_transit, self._rng.randrange(len(in_transit)))
         if not in_transit:
             return None
         return self._rng.choice(sorted(m.uid for m in in_transit))
@@ -203,8 +214,9 @@ class BatchRandomScheduler(Scheduler):
                 if uid is not None:
                     return uid
             # choice() indexes the list, so drawing from ascending uids
-            # consumes the RNG exactly like drawing from sorted views.
-            uid = self._rng.choice(list(in_transit.uids()))
+            # consumes the RNG exactly like drawing from sorted views
+            # (randrange == choice's _randbelow; see RandomScheduler).
+            uid = _nth_uid(in_transit, self._rng.randrange(len(in_transit)))
             self._active_batch = in_transit.batch_of(uid)
             return uid
         if not in_transit:

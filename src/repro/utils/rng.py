@@ -14,32 +14,57 @@ import random
 from typing import Iterable
 
 
+_SEED_MEMO: dict[tuple, int] = {}
+_SEED_MEMO_MAX = 65536
+
+
 def derive_seed(master: int, *labels: object) -> int:
     """Derive a 64-bit child seed from ``master`` and a label path.
 
     The derivation is a SHA-256 hash of the master seed and the repr of each
     label, so distinct label paths give (cryptographically) independent
     seeds and the mapping is stable across processes and Python versions.
+    Derivations are memoized per process: sweeps re-derive the same
+    (seed, path) pairs for every grid cell, and the mapping is pure. The
+    memo keys on the label *reprs* — what the hash actually consumes — so
+    equal-but-distinct-repr labels (``1`` vs ``1.0``) never collide.
     """
+    key = (master, tuple(repr(label) for label in labels))
+    cached = _SEED_MEMO.get(key)
+    if cached is not None:
+        return cached
     hasher = hashlib.sha256()
     hasher.update(str(master).encode())
-    for label in labels:
+    for label_repr in key[1]:
         hasher.update(b"/")
-        hasher.update(repr(label).encode())
-    return int.from_bytes(hasher.digest()[:8], "big")
+        hasher.update(label_repr.encode())
+    derived = int.from_bytes(hasher.digest()[:8], "big")
+    if len(_SEED_MEMO) >= _SEED_MEMO_MAX:
+        _SEED_MEMO.clear()
+    _SEED_MEMO[key] = derived
+    return derived
 
 
 class RngTree:
     """A node in a deterministic randomness tree.
 
     ``RngTree(seed)`` is the root; ``tree.child(label)`` derives a child node
-    and ``tree.rng`` is the node's own :class:`random.Random` stream.
+    and ``tree.rng`` is the node's own :class:`random.Random` stream (created
+    lazily — many nodes are only ever used to derive children).
     """
 
     def __init__(self, seed: int, _path: tuple[object, ...] = ()) -> None:
         self.seed = seed
         self._path = _path
-        self.rng = random.Random(derive_seed(seed, *_path, "stream"))
+        self._rng: random.Random | None = None
+
+    @property
+    def rng(self) -> random.Random:
+        if self._rng is None:
+            self._rng = random.Random(
+                derive_seed(self.seed, *self._path, "stream")
+            )
+        return self._rng
 
     def child(self, *labels: object) -> "RngTree":
         """Return the child node at ``labels`` (deterministic in labels)."""

@@ -1,0 +1,338 @@
+"""Compile-once/run-many correctness: the contracts behind the speed.
+
+The artifact cache, persistent pool, and chunked dispatch are only
+admissible because they are *invisible* in the records: warm-cache ==
+cold-cache, parallel == serial, shared-runner audits == per-call audits.
+This module pins exactly those equalities, plus the cache keying rules
+(games axis, ``file:`` stamps, mediator variants) that keep distinct
+artifacts from colliding.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ArtifactCache,
+    CellKey,
+    ExperimentResult,
+    ExperimentRunner,
+    expand_grid,
+    get_scenario,
+    prepare_cell,
+)
+from repro.errors import ExperimentError
+
+
+class TestArtifactCache:
+    def test_lru_bound_and_stats(self):
+        cache = ArtifactCache(maxsize=2)
+        assert cache.get(("a",), lambda: 1) == 1
+        assert cache.get(("a",), lambda: 2) == 1  # hit keeps first value
+        cache.get(("b",), lambda: 2)
+        cache.get(("c",), lambda: 3)  # evicts ("a",), the LRU entry
+        assert len(cache) == 2
+        assert cache.get(("a",), lambda: 9) == 9  # rebuilt after eviction
+        assert cache.hits == 1 and cache.misses == 4
+
+    def test_disabled_cache_never_stores(self):
+        cache = ArtifactCache(maxsize=0)
+        assert cache.get(("a",), lambda: 1) == 1
+        assert cache.get(("a",), lambda: 2) == 2  # nothing was stored
+        assert len(cache) == 0 and cache.misses == 2
+
+    def test_lru_recency_on_hit(self):
+        cache = ArtifactCache(maxsize=2)
+        cache.get(("a",), lambda: 1)
+        cache.get(("b",), lambda: 2)
+        cache.get(("a",), lambda: 0)  # refresh ("a",)
+        cache.get(("c",), lambda: 3)  # must evict ("b",), not ("a",)
+        assert cache.get(("a",), lambda: 9) == 1
+
+    def test_bad_cache_size_rejected(self):
+        with pytest.raises(ExperimentError, match="cache_size"):
+            ExperimentRunner(cache_size=-1)
+
+
+class TestCellKey:
+    def test_slow_axes_shared_fast_axes_ignored(self):
+        spec = get_scenario("chicken-mediator").replace(seed_count=3)
+        tasks = expand_grid(spec)
+        keys = {CellKey.for_task(spec, task) for task in tasks}
+        # seeds/schedulers are fast axes: one deviation => one key each.
+        assert len(keys) == len(spec.deviations)
+
+    def test_mediator_variants_do_not_collide(self):
+        leaky = get_scenario("sec64-leaky-honest")
+        minimal = get_scenario("sec64-minimal-honest")
+        key_l = CellKey.for_task(leaky, expand_grid(leaky)[0])
+        key_m = CellKey.for_task(minimal, expand_grid(minimal)[0])
+        assert key_l.protocol_key() != key_m.protocol_key()
+
+    @staticmethod
+    def _write_tiny_game(path, action):
+        data = {
+            "name": "tiny-fixed",
+            "n": 2,
+            "actions": [["a", "b"], ["a", "b"]],
+            "types": {"kind": "single", "profile": [0, 0]},
+            "payoff": {"kind": "expr", "expr": "1.0"},
+            "mediator": {"rule": "fixed", "params": {"profile": [action, action]}},
+            "default_move": {"kind": "constant", "action": "a"},
+        }
+        text = json.dumps(data)
+        if action == "b":
+            text += " "  # force a distinct (mtime_ns, size) stamp
+        path.write_text(text)
+
+    def test_file_game_stamp_in_key(self, tmp_path):
+        path = tmp_path / "game.json"
+        self._write_tiny_game(path, "a")
+        spec = get_scenario("mediator-honest").replace(
+            game=f"file:{path}", seed_count=1, schedulers=("fifo",), k=1, t=0
+        )
+        task = expand_grid(spec)[0]
+        stamp1 = CellKey.for_task(spec, task).file_stamp
+        assert stamp1 is not None
+        registry_key = CellKey.for_task(
+            get_scenario("chicken-mediator"),
+            expand_grid(get_scenario("chicken-mediator"))[0],
+        )
+        assert registry_key.file_stamp is None
+        self._write_tiny_game(path, "b")
+        stamp2 = CellKey.for_task(spec, task).file_stamp
+        assert stamp1 != stamp2
+
+    def test_file_game_edit_invalidates_warm_runner(self, tmp_path):
+        path = tmp_path / "game.json"
+        spec = get_scenario("mediator-honest").replace(
+            game=f"file:{path}", seed_count=2, schedulers=("fifo",), k=1, t=0
+        )
+        runner = ExperimentRunner()
+        self._write_tiny_game(path, "a")
+        first = runner.run(spec)
+        self._write_tiny_game(path, "b")
+        second = runner.run(spec)  # same warm runner, edited file
+        assert not first.failed() and not second.failed()
+        assert {r.actions for r in first.records} == {("a", "a")}
+        assert {r.actions for r in second.records} == {("b", "b")}
+
+
+class TestWarmColdIdentity:
+    SCENARIOS = (
+        ("chicken-mediator", {"seed_count": 3}),
+        ("sec64-leaky-honest", {"seed_count": 3}),
+        ("sec64-minimal-honest", {"seed_count": 3}),
+        ("r1-baseline", {}),
+        ("raw-chicken-matrix", {}),
+        ("mediator-honest", {"seed_count": 2}),
+    )
+
+    def test_warm_equals_cold_for_canonical_scenarios(self):
+        cold_runner = ExperimentRunner(cache_size=0)
+        warm_runner = ExperimentRunner()
+        for name, overrides in self.SCENARIOS:
+            spec = get_scenario(name).replace(**overrides) if overrides \
+                else get_scenario(name)
+            cold = cold_runner.run(spec)
+            first = warm_runner.run(spec)
+            second = warm_runner.run(spec)  # every prepare now cache-hits
+            assert first.records == cold.records, name
+            assert second.records == cold.records, name
+            assert second.stats["cache"]["misses"] == 0, name
+
+    @pytest.mark.slow
+    def test_warm_equals_cold_cheaptalk(self):
+        spec = get_scenario("thm41-honest").replace(
+            schedulers=("fifo", "random"), seed_count=2
+        )
+        cold = ExperimentRunner(cache_size=0).run(spec)
+        warm_runner = ExperimentRunner()
+        warm_runner.run(spec)
+        warm = warm_runner.run(spec)
+        assert warm.records == cold.records
+        assert warm.stats["cache"]["misses"] == 0
+        assert warm.stats["cache"]["hits"] > 0
+
+    def test_games_axis_keying(self):
+        # One grid spanning several games through one warm runner: each
+        # family instance must resolve to its own cached artifacts.
+        spec = get_scenario("consensus-scaling")
+        runner = ExperimentRunner()
+        warm1 = runner.run(spec)
+        warm2 = runner.run(spec)
+        cold = ExperimentRunner(cache_size=0).run(spec)
+        assert warm1.records == cold.records
+        assert warm2.records == cold.records
+        sizes = {r.game for r in cold.records}
+        assert len(sizes) > 1  # really multiple games in one grid
+
+
+class TestPreparedCell:
+    def test_prepare_without_cache_matches_cached(self):
+        spec = get_scenario("chicken-mediator")
+        task = expand_grid(spec)[0]
+        cache = ArtifactCache()
+        bare = prepare_cell(spec, task)
+        cached = prepare_cell(spec, task, cache)
+        again = prepare_cell(spec, task, cache)
+        assert bare.key == cached.key == again.key
+        assert cached.game is again.game  # the artifact itself is shared
+        assert cache.hits > 0
+
+
+class TestPersistentPool:
+    def test_pool_reused_across_runs(self):
+        spec = get_scenario("chicken-mediator").replace(seed_count=2)
+        serial = ExperimentRunner().run(spec)
+        with ExperimentRunner(parallel=True, processes=2) as runner:
+            first = runner.run(spec)
+            second = runner.run(spec)
+        assert first.records == serial.records
+        assert second.records == serial.records
+        assert first.stats["pool"] == {
+            "used": True, "processes": 2, "reused": False,
+        }
+        assert second.stats["pool"]["reused"] is True
+
+    def test_close_is_idempotent_and_recoverable(self):
+        spec = get_scenario("r1-baseline")
+        runner = ExperimentRunner(parallel=True, processes=2)
+        first = runner.run(spec)
+        runner.close()
+        runner.close()
+        second = runner.run(spec)  # lazily recreates the pool
+        runner.close()
+        assert first.records == second.records
+
+    def test_progress_callback_streams(self):
+        spec = get_scenario("chicken-mediator").replace(seed_count=2)
+        seen: list[tuple[int, int]] = []
+        result = ExperimentRunner().run(
+            spec, progress=lambda done, total: seen.append((done, total))
+        )
+        total = len(result.records)
+        assert len(seen) == total
+        assert seen[-1] == (total, total)
+        assert [done for done, _ in seen] == sorted(done for done, _ in seen)
+
+    def test_progress_callback_parallel(self):
+        spec = get_scenario("chicken-mediator").replace(seed_count=2)
+        seen: list[tuple[int, int]] = []
+        with ExperimentRunner(parallel=True, processes=2) as runner:
+            result = runner.run(
+                spec, progress=lambda done, total: seen.append((done, total))
+            )
+        total = len(result.records)
+        assert len(seen) == total and seen[-1] == (total, total)
+
+
+class TestStats:
+    def test_serial_stats_shape(self):
+        spec = get_scenario("chicken-mediator").replace(seed_count=2)
+        result = ExperimentRunner().run(spec)
+        assert result.stats["pool"]["used"] is False
+        phases = result.stats["phases"]
+        assert set(phases) == {"prepare_s", "run_s", "payoff_s"}
+        assert all(v >= 0 for v in phases.values())
+        cache = result.stats["cache"]
+        assert cache["misses"] > 0  # first run on a fresh runner
+
+    def test_stats_round_trip_and_equality_exclusion(self):
+        spec = get_scenario("raw-chicken-matrix")
+        result = ExperimentRunner().run(spec)
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored == result
+        assert restored.stats == result.stats
+        # stats are bookkeeping: a result with different stats is equal.
+        assert ExperimentResult(
+            spec=result.spec, records=result.records, stats={}
+        ) == result
+
+
+class TestAuditSharedRunner:
+    def test_run_audit_shared_equals_owned(self):
+        from repro.audit import get_audit, run_audit
+
+        spec = get_audit("sec64-leak").replace(seed_count=3, budget=8)
+        owned = run_audit(spec)
+        with ExperimentRunner() as shared:
+            first = run_audit(spec, runner=shared)
+            second = run_audit(spec, runner=shared)  # warm caches
+        assert first.cells == owned.cells
+        assert second.cells == owned.cells
+
+    def test_run_frontier_shared_equals_owned(self):
+        from repro.audit import get_audit, run_frontier
+
+        spec = get_audit("sec64-minimal-audit").replace(seed_count=2, budget=6)
+        owned = run_frontier(spec)
+        with ExperimentRunner() as shared:
+            again = run_frontier(spec, runner=shared)
+        assert again.cells == owned.cells
+
+    def test_run_fuzz_shared_equals_owned(self):
+        from repro.audit import run_fuzz
+
+        kwargs = dict(count=2, budget=6, seed_count=2)
+        owned = run_fuzz(**kwargs)
+        with ExperimentRunner() as shared:
+            again = run_fuzz(runner=shared, **kwargs)
+        assert [r.cells for r in again] == [r.cells for r in owned]
+
+    def test_runner_plus_construction_args_rejected(self):
+        from repro.audit import get_audit, run_audit
+
+        spec = get_audit("sec64-leak")
+        with ExperimentRunner() as shared:
+            with pytest.raises(ExperimentError, match="not both"):
+                run_audit(spec, parallel=True, runner=shared)
+            with pytest.raises(ExperimentError, match="not both"):
+                run_audit(spec, timeout_s=5.0, runner=shared)
+
+
+class TestBenchSuite:
+    def test_run_suite_and_baseline_soft_warn(self):
+        from repro.bench import bench_names, compare_to_baseline, run_suite
+
+        suite = run_suite(names=["games-construct"], quick=True)
+        assert suite["benches"][0]["name"] == "games-construct"
+        assert suite["benches"][0]["cells_per_s"] > 0
+        assert "games-construct" in bench_names()
+
+        row = dict(suite["benches"][0])
+        fast = {"benches": [{**row, "cells_per_s": row["cells_per_s"] * 10}]}
+        slow = {"benches": [{**row, "cells_per_s": row["cells_per_s"] / 10}]}
+        assert compare_to_baseline(suite, slow) == []  # we are faster: fine
+        warnings = compare_to_baseline(suite, fast)
+        assert len(warnings) == 1 and "below the baseline" in warnings[0]
+        # Unknown benches on either side are skipped, not errors.
+        assert compare_to_baseline(suite, {"benches": [{"name": "x"}]}) == []
+
+    def test_unknown_bench_rejected(self):
+        from repro.bench import run_suite
+
+        with pytest.raises(ExperimentError, match="unknown bench"):
+            run_suite(names=["nope"])
+
+
+class TestProfileCLI:
+    def test_run_profile_flag(self, capsys):
+        from repro.cli import main
+
+        main(["run", "raw-chicken-matrix", "--profile"])
+        out = capsys.readouterr().out
+        assert "profile — raw-chicken-matrix" in out
+        assert "artifact cache:" in out
+
+    def test_bench_cli_json(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out_path = tmp_path / "bench_suite.json"
+        main(["bench", "games-construct", "--json", "--out", str(out_path)])
+        printed = json.loads(capsys.readouterr().out)
+        on_disk = json.loads(out_path.read_text())
+        assert printed["benches"][0]["name"] == "games-construct"
+        assert on_disk["suite"] == "repro-bench"

@@ -25,6 +25,11 @@ Commands:
 * ``bench`` — run the unified quick-benchmark suite and emit one
   ``bench_suite.json`` (``--baseline`` soft-warns on throughput
   regressions without failing);
+* ``lint`` — run the repo's AST-based static analyzer (determinism,
+  protocol-contract, and multiprocessing-safety rules) over source
+  trees; ``--list-rules`` documents the rules, ``--diff <ref>`` restricts
+  findings to lines changed since a git ref, ``--json`` / ``--out``
+  emit the machine-readable report (exit 1 on any active finding);
 * ``check`` — run the exact ideal-mediator robustness checker on a game;
 * ``compile`` — compile a game through one of the four theorems and run it;
 * ``attack`` — mount the Section 6.4 leak attack (leaky vs minimal).
@@ -604,6 +609,46 @@ def cmd_audit_fuzz(args) -> None:
     )
 
 
+def cmd_lint(args) -> None:
+    from repro.errors import LintError
+    from repro.lint import (
+        changed_lines,
+        lint_paths,
+        rule_descriptions,
+    )
+
+    if args.list_rules:
+        descriptions = rule_descriptions()
+        if args.json:
+            print(json.dumps(descriptions, indent=2, sort_keys=True))
+            return
+        for name in sorted(descriptions):
+            print(f"{name}\n    {descriptions[name]}")
+        return
+    paths = args.paths or ["src"]
+    rules = (
+        [name for group in args.rules for name in group.split(",") if name]
+        if args.rules is not None else None
+    )
+    try:
+        report = lint_paths(paths, rules=rules)
+        if args.diff:
+            report = report.restrict_to_lines(changed_lines(args.diff, paths))
+    except LintError as exc:
+        sys.exit(str(exc))
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report.to_json(indent=2))
+            fh.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        print(report.format_text(show_suppressed=args.show_suppressed))
+    if report.exit_code:
+        raise SystemExit(report.exit_code)
+
+
 def cmd_bench(args) -> None:
     from repro.bench import (
         bench_names,
@@ -878,6 +923,29 @@ def build_parser() -> argparse.ArgumentParser:
                               "baseline suite and soft-warn on >30%% "
                               "regressions (never fails)")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="AST determinism & protocol-contract linter (the CI gate)",
+    )
+    p_lint.add_argument("paths", nargs="*", metavar="path",
+                        help="files/directories to lint (default: src)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit the LintReport JSON instead of text")
+    p_lint.add_argument("--rules", action="append", default=None,
+                        metavar="RULE[,RULE]",
+                        help="run only these rules (repeatable, "
+                             "comma-separable; see --list-rules)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="list registered rules with descriptions")
+    p_lint.add_argument("--diff", default=None, metavar="REF",
+                        help="report only findings on lines changed since "
+                             "the git ref (fast incremental mode)")
+    p_lint.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the LintReport JSON to PATH")
+    p_lint.add_argument("--show-suppressed", action="store_true",
+                        help="include suppressed findings in text output")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_demo = sub.add_parser("demo", help="mediator vs cheap talk")
     common(p_demo)

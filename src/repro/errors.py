@@ -71,6 +71,14 @@ class CompilationError(ReproError):
     """Cheap-talk compilation failed (bounds not met, missing punishment)."""
 
 
+class LintError(ReproError):
+    """Invalid ``repro lint`` invocation (unknown rule, bad path/ref).
+
+    Findings are data, not exceptions — this is only for problems with the
+    lint run itself.
+    """
+
+
 class ExperimentError(ReproError):
     """Invalid experiment specification or registry lookup.
 

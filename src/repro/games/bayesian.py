@@ -35,6 +35,12 @@ class TypeSpace:
         items = tuple(sorted(dist.items(), key=lambda kv: repr(kv[0])))
         return TypeSpace(n, items)
 
+    def to_dict(self) -> dict:
+        """The ``{profile: probability}`` mapping ``from_dict`` accepts
+        (``TypeSpace.from_dict(ts.n, ts.to_dict())`` round-trips up to
+        ``from_dict``'s canonical support ordering)."""
+        return {profile: prob for profile, prob in self.support}
+
     @staticmethod
     def single(profile: Sequence) -> "TypeSpace":
         """Complete-information game: one type profile with probability 1."""

@@ -1,0 +1,42 @@
+"""``repro.lint`` — the repo's own static analyzer.
+
+An AST-based determinism and protocol-contract linter (stdlib only),
+exposed as ``repro lint`` on the CLI and run blocking in CI. See
+``repro.lint.engine`` for the engine and suppression protocol, and
+``repro.lint.rules`` for the shipped rule battery; ``CONTRIBUTING.md``
+documents the invariants the rules encode.
+"""
+
+from repro.lint.engine import (
+    Finding,
+    LintReport,
+    ModuleInfo,
+    Rule,
+    changed_lines,
+    collect_files,
+    iter_rules,
+    lint_file,
+    lint_paths,
+    parse_diff_lines,
+    register_rule,
+    resolve_rules,
+    rule_descriptions,
+    rule_names,
+)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "ModuleInfo",
+    "Rule",
+    "changed_lines",
+    "collect_files",
+    "iter_rules",
+    "lint_file",
+    "lint_paths",
+    "parse_diff_lines",
+    "register_rule",
+    "resolve_rules",
+    "rule_descriptions",
+    "rule_names",
+]

@@ -1,0 +1,541 @@
+"""The ``repro lint`` rule engine.
+
+A lint *rule* is a small AST pass over one module: it yields
+:class:`Finding`s anchored to source lines. The engine owns everything
+around the rules — file discovery, parsing, the rule registry, the
+suppression protocol, reporters, and the ``--diff`` line filter — so a
+rule implementation is nothing but ``check(module) -> findings``.
+
+Why this exists: every result in this repo (parallel == serial sweeps,
+byte-identical kernel refactors, golden-file game equivalence, audit
+reproducibility) rests on one invariant — *simulation-path code is
+seed-deterministic and side-effect-free*. Record diffs catch violations
+after the fact; these rules catch them at review time. The determinism
+contracts the rules encode are written down in ``CONTRIBUTING.md``.
+
+Suppressions
+------------
+
+A finding is suppressed by a comment on the same line (or the line
+directly above), with a mandatory justification after ``--``::
+
+    for pid in self.members:  # repro-lint: disable=unsorted-set-iteration -- consumed by min() below, order-insensitive
+
+A suppression without a justification, or naming an unknown rule, is
+itself reported (rule ``bad-suppression``) and cannot suppress anything.
+Suppressed findings stay in the report (``suppressed: true`` in JSON)
+but never affect the exit code.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+import os
+import re
+import subprocess
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import LintError
+
+
+# -- findings -----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation (or suppressed violation) at one source line."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    justification: str = ""
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise LintError(
+                f"unknown Finding fields: {', '.join(sorted(unknown))}"
+            )
+        return cls(**data)
+
+    def format(self) -> str:
+        mark = " (suppressed)" if self.suppressed else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"[{self.rule}] {self.message}{mark}"
+        )
+
+
+# -- modules ------------------------------------------------------------------
+
+class ModuleInfo:
+    """One parsed module, as rules see it."""
+
+    def __init__(self, path: str, display: str, source: str) -> None:
+        self.path = path
+        self.display = display
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=display)
+        # Package segments below the ``repro`` package (empty when the file
+        # is outside it, e.g. a test fixture): ("sim", "runtime.py").
+        parts = display.replace("\\", "/").split("/")
+        self.repro_parts: tuple[str, ...] = (
+            tuple(parts[parts.index("repro") + 1:])
+            if "repro" in parts else ()
+        )
+
+    def in_packages(self, *packages: str) -> bool:
+        """True when the module lives under one of ``packages``."""
+        return bool(self.repro_parts) and self.repro_parts[0] in packages
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule.name,
+            path=self.display,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+# -- rules --------------------------------------------------------------------
+
+class Rule:
+    """Base class: one named check over one module's AST."""
+
+    name = "rule"
+    description = ""
+    #: Packages under ``repro`` the rule applies to; empty = everywhere.
+    packages: tuple[str, ...] = ()
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        if not self.packages:
+            return True
+        return module.in_packages(*self.packages)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+RULE_REGISTRY: dict[str, Rule] = {}
+
+BAD_SUPPRESSION = "bad-suppression"
+_BUILTIN_RULE_DOCS = {
+    BAD_SUPPRESSION: (
+        "a `# repro-lint: disable=...` comment lacks a justification or "
+        "names an unknown rule (engine built-in; always on)"
+    ),
+}
+
+
+def register_rule(rule_cls: type) -> type:
+    """Class decorator: instantiate and register a rule by its name."""
+    rule = rule_cls()
+    if not rule.name or rule.name == Rule.name:
+        raise LintError(f"rule {rule_cls.__name__} needs a distinct name")
+    if rule.name in RULE_REGISTRY or rule.name in _BUILTIN_RULE_DOCS:
+        raise LintError(f"lint rule {rule.name!r} is already registered")
+    RULE_REGISTRY[rule.name] = rule
+    return rule_cls
+
+
+def _loaded_registry() -> dict[str, Rule]:
+    # Importing the rules package populates RULE_REGISTRY (same lazy-load
+    # trick the scenario and audit registries use).
+    from repro.lint import rules  # noqa: F401
+
+    return RULE_REGISTRY
+
+
+def rule_names() -> list[str]:
+    return sorted(_loaded_registry()) + [BAD_SUPPRESSION]
+
+
+def iter_rules() -> list[Rule]:
+    registry = _loaded_registry()
+    return [registry[name] for name in sorted(registry)]
+
+
+def rule_descriptions() -> dict[str, str]:
+    out = {rule.name: rule.description for rule in iter_rules()}
+    out.update(_BUILTIN_RULE_DOCS)
+    return out
+
+
+def resolve_rules(names: Optional[Iterable[str]]) -> list[Rule]:
+    """The rules to run: all of them, or the named subset."""
+    registry = _loaded_registry()
+    if names is None:
+        return [registry[name] for name in sorted(registry)]
+    out = []
+    for name in names:
+        if name not in registry:
+            raise LintError(
+                f"unknown lint rule {name!r}; known rules: "
+                f"{', '.join(rule_names())}"
+            )
+        out.append(registry[name])
+    return out
+
+
+# -- suppressions -------------------------------------------------------------
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\-]+)"
+    r"(?:\s*--\s*(\S.*))?"
+)
+
+
+@dataclass
+class Suppression:
+    line: int
+    rules: tuple[str, ...]
+    justification: str
+
+
+def scan_suppressions(module: ModuleInfo) -> tuple[list[Suppression], list[Finding]]:
+    """All suppression comments plus findings for malformed ones."""
+    registry = _loaded_registry()
+    suppressions: list[Suppression] = []
+    bad: list[Finding] = []
+    for lineno, text in enumerate(module.lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        names = tuple(n for n in match.group(1).split(",") if n)
+        justification = (match.group(2) or "").strip()
+        unknown = [n for n in names if n not in registry]
+        if unknown:
+            bad.append(Finding(
+                rule=BAD_SUPPRESSION,
+                path=module.display,
+                line=lineno,
+                col=match.start() + 1,
+                message=(
+                    f"suppression names unknown rule(s) "
+                    f"{', '.join(sorted(unknown))}; known: "
+                    f"{', '.join(sorted(registry))}"
+                ),
+            ))
+            continue
+        if not justification:
+            bad.append(Finding(
+                rule=BAD_SUPPRESSION,
+                path=module.display,
+                line=lineno,
+                col=match.start() + 1,
+                message=(
+                    "suppression needs a justification: "
+                    "`# repro-lint: disable=<rule> -- <why>`"
+                ),
+            ))
+            continue
+        suppressions.append(Suppression(lineno, names, justification))
+    return suppressions, bad
+
+
+def apply_suppressions(
+    findings: list[Finding], suppressions: list[Suppression]
+) -> list[Finding]:
+    """Mark findings covered by a same-line / line-above suppression."""
+    by_line: dict[int, Suppression] = {}
+    for sup in suppressions:
+        by_line[sup.line] = sup
+    out = []
+    for finding in findings:
+        sup = by_line.get(finding.line) or by_line.get(finding.line - 1)
+        if sup is not None and finding.rule in sup.rules:
+            finding = dataclasses.replace(
+                finding, suppressed=True, justification=sup.justification
+            )
+        out.append(finding)
+    return out
+
+
+# -- the report ---------------------------------------------------------------
+
+@dataclass
+class LintReport:
+    """Everything one lint invocation produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: tuple[str, ...] = ()
+    parse_errors: list[Finding] = field(default_factory=list)
+
+    @property
+    def active(self) -> list[Finding]:
+        """Findings that should fail the gate (unsuppressed + parse errors)."""
+        return self.parse_errors + [
+            f for f in self.findings if not f.suppressed
+        ]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.active else 0
+
+    def restrict_to_lines(self, lines_by_path: dict[str, set]) -> "LintReport":
+        """The ``--diff`` filter: keep findings on the given lines only.
+
+        Parse errors always survive (a file that does not parse is broken
+        wherever the edit was).
+        """
+        kept = [
+            f for f in self.findings
+            if f.line in lines_by_path.get(f.path, ())
+        ]
+        return LintReport(
+            findings=kept,
+            files_checked=self.files_checked,
+            rules_run=self.rules_run,
+            parse_errors=list(self.parse_errors),
+        )
+
+    DERIVED_KEYS = ("summary", "clean")
+    """Read-only convenience keys emitted next to the report fields;
+    dropped on parse so the JSON round-trips through ``from_dict``."""
+
+    def to_dict(self) -> dict:
+        active = self.active
+        return {
+            "files_checked": self.files_checked,
+            "rules_run": list(self.rules_run),
+            "findings": [f.to_dict() for f in self.findings],
+            "parse_errors": [f.to_dict() for f in self.parse_errors],
+            "summary": {
+                "active": len(active),
+                "suppressed": sum(1 for f in self.findings if f.suppressed),
+                "by_rule": {
+                    name: sum(1 for f in active if f.rule == name)
+                    for name in sorted({f.rule for f in active})
+                },
+            },
+            "clean": not active,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LintReport":
+        data = {k: v for k, v in data.items() if k not in cls.DERIVED_KEYS}
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise LintError(
+                f"unknown LintReport fields: {', '.join(sorted(unknown))}"
+            )
+        return cls(
+            findings=[Finding.from_dict(f) for f in data.get("findings", ())],
+            files_checked=data.get("files_checked", 0),
+            rules_run=tuple(data.get("rules_run", ())),
+            parse_errors=[
+                Finding.from_dict(f) for f in data.get("parse_errors", ())
+            ],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "LintReport":
+        return cls.from_dict(json.loads(text))
+
+    def format_text(self, show_suppressed: bool = False) -> str:
+        lines = [f.format() for f in self.parse_errors]
+        lines += [
+            f.format()
+            for f in self.findings
+            if show_suppressed or not f.suppressed
+        ]
+        active = self.active
+        suppressed = sum(1 for f in self.findings if f.suppressed)
+        lines.append(
+            f"checked {self.files_checked} file(s) with "
+            f"{len(self.rules_run)} rule(s): "
+            + (
+                f"{len(active)} finding(s)"
+                if active else "clean"
+            )
+            + (f" ({suppressed} suppressed)" if suppressed else "")
+        )
+        return "\n".join(lines)
+
+
+# -- running ------------------------------------------------------------------
+
+def collect_files(paths: Iterable[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()  # deterministic walk order
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(dirpath, name))
+        else:
+            raise LintError(f"no such file or directory: {path!r}")
+    return sorted(dict.fromkeys(out))
+
+
+def _display_path(path: str) -> str:
+    rel = os.path.relpath(path)
+    return (path if rel.startswith("..") else rel).replace(os.sep, "/")
+
+
+def lint_file(
+    path: str,
+    rules: list[Rule],
+    respect_scopes: bool = True,
+) -> tuple[list[Finding], Optional[Finding]]:
+    """Lint one file; returns (findings, parse_error_or_None)."""
+    display = _display_path(path)
+    try:
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+        module = ModuleInfo(path, display, source)
+    except (SyntaxError, UnicodeDecodeError) as exc:
+        lineno = getattr(exc, "lineno", 1) or 1
+        return [], Finding(
+            rule="parse-error",
+            path=display,
+            line=lineno,
+            col=(getattr(exc, "offset", 1) or 1),
+            message=f"file does not parse: {exc.msg if hasattr(exc, 'msg') else exc}",
+        )
+    findings: list[Finding] = []
+    for rule in rules:
+        if respect_scopes and not rule.applies_to(module):
+            continue
+        findings.extend(rule.check(module))
+    suppressions, bad = scan_suppressions(module)
+    findings = apply_suppressions(findings, suppressions) + bad
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings, None
+
+
+def lint_paths(
+    paths: Iterable[str],
+    rules: Optional[Iterable[str]] = None,
+    respect_scopes: bool = True,
+) -> LintReport:
+    """Lint files/directories; the programmatic entry behind ``repro lint``."""
+    selected = resolve_rules(None if rules is None else list(rules))
+    files = collect_files(paths)
+    report = LintReport(rules_run=tuple(r.name for r in selected))
+    for path in files:
+        findings, parse_error = lint_file(
+            path, selected, respect_scopes=respect_scopes
+        )
+        if parse_error is not None:
+            report.parse_errors.append(parse_error)
+        report.findings.extend(findings)
+        report.files_checked += 1
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report
+
+
+# -- --diff support -----------------------------------------------------------
+
+_HUNK_RE = re.compile(r"^@@ -\d+(?:,\d+)? \+(\d+)(?:,(\d+))? @@")
+
+
+def parse_diff_lines(diff_text: str) -> dict[str, set]:
+    """Map new-file path -> set of added/changed line numbers, from a
+    unified diff produced with zero context (``git diff -U0``)."""
+    lines_by_path: dict[str, set] = {}
+    current: Optional[str] = None
+    for line in diff_text.splitlines():
+        if line.startswith("+++ "):
+            target = line[4:].strip()
+            if target == "/dev/null":
+                current = None
+            else:
+                current = target[2:] if target.startswith("b/") else target
+            continue
+        match = _HUNK_RE.match(line)
+        if match and current is not None:
+            start = int(match.group(1))
+            count = int(match.group(2)) if match.group(2) is not None else 1
+            if count:
+                lines_by_path.setdefault(current, set()).update(
+                    range(start, start + count)
+                )
+    return lines_by_path
+
+
+def changed_lines(ref: str, paths: Iterable[str]) -> dict[str, set]:
+    """Lines changed since ``ref``, per repo-relative path (via git)."""
+    cmd = ["git", "diff", "-U0", "--no-color", ref, "--"] + list(paths)
+    try:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, check=False
+        )
+    except OSError as exc:
+        raise LintError(f"cannot run git for --diff: {exc}") from None
+    if proc.returncode not in (0, 1):
+        raise LintError(
+            f"git diff {ref!r} failed: {proc.stderr.strip() or proc.returncode}"
+        )
+    return parse_diff_lines(proc.stdout)
+
+
+# -- shared AST helpers (used by the rule modules) ---------------------------
+
+def import_aliases(tree: ast.Module, module_name: str) -> set:
+    """Local names bound to ``module_name`` by ``import`` statements."""
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module_name:
+                    aliases.add(alias.asname or alias.name.split(".")[0])
+                elif alias.name.startswith(module_name + "."):
+                    # ``import numpy.random`` binds ``numpy``.
+                    aliases.add(alias.asname or module_name)
+    return aliases
+
+
+def from_imports(tree: ast.Module, module_name: str) -> dict[str, str]:
+    """Local name -> original name for ``from module_name import ...``."""
+    out: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module_name:
+            for alias in node.names:
+                out[alias.asname or alias.name] = alias.name
+    return out
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Dotted name of a call's function, when it is a plain name chain."""
+    parts = []
+    target = node.func
+    while isinstance(target, ast.Attribute):
+        parts.append(target.attr)
+        target = target.value
+    if isinstance(target, ast.Name):
+        parts.append(target.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def walk_with_parents(tree: ast.AST) -> Iterator[tuple[ast.AST, Optional[ast.AST]]]:
+    """Yield (node, parent) pairs over the whole tree."""
+    stack: list[tuple[ast.AST, Optional[ast.AST]]] = [(tree, None)]
+    while stack:
+        node, parent = stack.pop()
+        yield node, parent
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, node))

@@ -1,0 +1,12 @@
+"""The shipped rule battery.
+
+Importing this package registers every rule with the engine's
+``RULE_REGISTRY`` (the same import-time registration trick the scenario,
+game, and audit registries use). Add a rule by writing a
+``@register_rule`` class in one of these modules — or your own module,
+imported here.
+"""
+
+from repro.lint.rules import contracts  # noqa: F401
+from repro.lint.rules import determinism  # noqa: F401
+from repro.lint.rules import mp_safety  # noqa: F401

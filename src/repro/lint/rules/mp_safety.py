@@ -1,0 +1,128 @@
+"""Multiprocessing-safety rules.
+
+Parallel == serial determinism relies on worker processes being pure: a
+worker rebuilds everything it needs from the picklable task payload. Two
+things quietly break that: module-level mutable state that drifts apart
+between the parent and the workers (or between warm and cold workers),
+and payloads that only pickle by accident (lambdas and closures do not
+pickle at all).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    register_rule,
+)
+from repro.lint.rules.contracts import _is_mutable_literal
+
+
+@register_rule
+class ModuleMutableStateRule(Rule):
+    """Module-level mutable bindings must be ALL_CAPS registries."""
+
+    name = "module-mutable-state"
+    description = (
+        "module-level mutable containers fork into every pool worker and "
+        "then diverge; import-time registries are the one sanctioned use "
+        "and are spelled ALL_CAPS (optionally _-prefixed) — lowercase "
+        "module-level mutables read as accumulating runtime state, which "
+        "breaks warm-vs-cold worker equivalence"
+    )
+    packages = ()
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in module.tree.body:
+            targets = []
+            value = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None or not _is_mutable_literal(value):
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name.startswith("__") and name.endswith("__"):
+                    continue  # dunders (__all__) are module metadata
+                bare = name.lstrip("_")
+                if bare and bare == bare.upper():
+                    continue  # ALL_CAPS: an import-time registry/constant
+                yield module.finding(
+                    self, target,
+                    f"module-level mutable {name!r} is per-process state "
+                    f"that diverges across pool workers; make it an "
+                    f"ALL_CAPS import-time registry or move it into an "
+                    f"object owned by the run",
+                )
+
+
+_POOL_DISPATCH = frozenset({
+    "map", "map_async", "imap", "imap_unordered", "starmap",
+    "starmap_async", "apply_async", "submit",
+})
+
+
+@register_rule
+class WorkerPayloadRule(Rule):
+    """Pool-dispatched callables must be module-level (picklable)."""
+
+    name = "unpicklable-worker-payload"
+    description = (
+        "lambdas and nested functions do not pickle, so handing one to "
+        "pool.map/imap_unordered/apply_async/submit dies at dispatch time "
+        "(or never runs on spawn-based platforms); dispatch module-level "
+        "functions and pass data, not closures"
+    )
+    packages = ()
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        # Names bound by a def nested inside another function: closures.
+        nested: set = set()
+
+        def collect(node: ast.AST, depth: int) -> None:
+            for child in ast.iter_child_nodes(node):
+                child_depth = depth
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if depth > 0:
+                        nested.add(child.name)
+                    child_depth = depth + 1
+                elif isinstance(child, ast.ClassDef):
+                    # Methods are reachable as attributes; not closures.
+                    child_depth = 0
+                collect(child, child_depth)
+
+        collect(module.tree, 0)
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            if not (
+                isinstance(fn, ast.Attribute) and fn.attr in _POOL_DISPATCH
+            ):
+                continue
+            if not node.args:
+                continue
+            target = node.args[0]
+            if isinstance(target, ast.Lambda):
+                yield module.finding(
+                    self, target,
+                    f"lambda passed to .{fn.attr}(): lambdas do not "
+                    f"pickle across the process boundary; dispatch a "
+                    f"module-level function",
+                )
+            elif isinstance(target, ast.Name) and target.id in nested:
+                yield module.finding(
+                    self, target,
+                    f"nested function {target.id!r} passed to "
+                    f".{fn.attr}(): closures do not pickle across the "
+                    f"process boundary; hoist it to module level",
+                )

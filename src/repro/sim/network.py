@@ -257,7 +257,7 @@ class Network:
         """Silently discard messages addressed to halted processes."""
         uids = [
             uid
-            for recipient in recipients
+            for recipient in sorted(recipients)
             if recipient in self._by_recipient
             for uid in self._by_recipient[recipient]
         ]

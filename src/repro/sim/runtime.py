@@ -360,7 +360,7 @@ class Runtime:
             for view in views.from_sender(ENVIRONMENT_PID)
             if view.recipient not in self.halted
         ]
-        for batch in self._mediator_batches:
+        for batch in sorted(self._mediator_batches):
             if batch in self._delivered_batches:
                 uid = views.oldest_in_batch(batch)
                 if uid is not None:

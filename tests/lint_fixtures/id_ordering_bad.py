@@ -1,0 +1,6 @@
+"""Seeded violation for the ``id-ordering`` rule."""
+
+
+def stable_order(processes):
+    by_identity = {id(p): p for p in processes}      # id() keying
+    return sorted(processes, key=id)                 # key=id ordering

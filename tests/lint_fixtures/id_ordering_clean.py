@@ -1,0 +1,6 @@
+"""Clean twin for the ``id-ordering`` rule."""
+
+
+def stable_order(processes):
+    by_pid = {p.pid: p for p in processes}           # stable domain key
+    return sorted(processes, key=lambda p: p.pid)

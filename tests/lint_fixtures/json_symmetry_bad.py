@@ -1,0 +1,21 @@
+"""Seeded violations for the ``json-symmetry`` rule."""
+
+from dataclasses import dataclass
+
+
+class RunRecord:
+    def to_json(self):                   # no from_json: write-only format
+        return "{}"
+
+
+@dataclass
+class Summary:
+    runs: int
+    seed: int
+
+    def to_dict(self):                   # omits the ``seed`` field
+        return {"runs": self.runs}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(runs=data["runs"], seed=data.get("seed", 0))

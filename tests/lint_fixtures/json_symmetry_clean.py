@@ -1,0 +1,27 @@
+"""Clean twin for the ``json-symmetry`` rule."""
+
+import json
+from dataclasses import dataclass
+
+
+class RunRecord:
+    def to_json(self):
+        return "{}"
+
+    @classmethod
+    def from_json(cls, text):
+        json.loads(text)
+        return cls()
+
+
+@dataclass
+class Summary:
+    runs: int
+    seed: int
+
+    def to_dict(self):
+        return {"runs": self.runs, "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(runs=data["runs"], seed=data["seed"])

@@ -1,0 +1,5 @@
+"""Seeded violations for the ``module-mutable-state`` rule."""
+
+cache = {}                 # lowercase module mutable: diverges per worker
+pending: list = []         # annotated form
+_seen = set()              # leading underscore does not make it a registry

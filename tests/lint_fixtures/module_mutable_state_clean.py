@@ -1,0 +1,7 @@
+"""Clean twin for the ``module-mutable-state`` rule."""
+
+RULES = {}                 # ALL_CAPS import-time registry: sanctioned
+_CACHE: dict = {}          # private registry, still ALL_CAPS
+LIMIT = 64                 # immutable: always fine
+
+__all__ = ["RULES", "LIMIT"]

@@ -1,0 +1,13 @@
+"""Seeded violations for the ``mutable-default`` rule."""
+
+
+def accumulate(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def tally(counts={}, *, seen=set()):
+    return counts, seen
+
+
+merge = lambda items, acc=[]: acc + items  # noqa: E731

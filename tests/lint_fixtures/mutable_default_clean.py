@@ -1,0 +1,12 @@
+"""Clean twin for the ``mutable-default`` rule."""
+
+
+def accumulate(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket
+
+
+def tally(counts=None, *, seen=frozenset()):
+    return counts or {}, seen

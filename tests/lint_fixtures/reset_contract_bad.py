@@ -1,0 +1,14 @@
+"""Seeded violation for the ``reset-contract`` rule."""
+
+
+class DriftScheduler(Scheduler):                     # noqa: F821
+    def __init__(self, bias):
+        self.bias = bias
+        self._queue = []
+        self._step = 0
+    # no reset(): cached instances leak _queue/_step across runs
+
+
+class JitterTimingModel(BaseTimingModel):            # noqa: F821
+    def __init__(self):
+        self._pending = {}

@@ -1,0 +1,15 @@
+"""Clean twin for the ``reset-contract`` rule."""
+
+
+class FairScheduler(Scheduler):                      # noqa: F821
+    def __init__(self, bias):
+        self.bias = bias
+        self._queue = []
+
+    def reset(self, seed):
+        self._queue = []
+
+
+class FixedTimingModel(BaseTimingModel):             # noqa: F821
+    def __init__(self, delay):
+        self.delay = delay                           # config only: no reset needed

@@ -1,0 +1,15 @@
+"""Seeded violation for the ``slots-hot-class`` rule."""
+
+from dataclasses import dataclass
+
+
+class ProbeMessage:
+    def __init__(self, sender, payload):
+        self.sender = sender
+        self.payload = payload
+
+
+@dataclass(frozen=True)
+class DropEvent:
+    uid: int
+    reason: str

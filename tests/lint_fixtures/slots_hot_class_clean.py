@@ -1,0 +1,17 @@
+"""Clean twin for the ``slots-hot-class`` rule."""
+
+from dataclasses import dataclass
+
+
+class ProbeMessage:
+    __slots__ = ("sender", "payload")
+
+    def __init__(self, sender, payload):
+        self.sender = sender
+        self.payload = payload
+
+
+@dataclass(frozen=True, slots=True)
+class DropEvent:
+    uid: int
+    reason: str

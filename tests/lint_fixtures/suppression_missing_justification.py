@@ -1,0 +1,5 @@
+"""A suppression without a justification: reported, suppresses nothing."""
+
+
+def debug_label(obj):
+    return id(obj)  # repro-lint: disable=id-ordering

@@ -1,0 +1,10 @@
+"""Valid suppressions: justified, same-line and line-above forms."""
+
+
+def debug_label(obj):
+    return id(obj)  # repro-lint: disable=id-ordering -- debug label only, never ordered or persisted
+
+
+def debug_pair(a, b):
+    # repro-lint: disable=id-ordering -- comparing identity is the point here
+    return id(a) == id(b)

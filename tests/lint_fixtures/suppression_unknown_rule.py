@@ -1,0 +1,5 @@
+"""A suppression naming a rule that does not exist: reported."""
+
+
+def fine():
+    return 0  # repro-lint: disable=no-such-rule -- this rule name is a typo

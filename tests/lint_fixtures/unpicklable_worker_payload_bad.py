@@ -1,0 +1,10 @@
+"""Seeded violations for the ``unpicklable-worker-payload`` rule."""
+
+
+def run_all(pool, tasks):
+    def score(task):
+        return task * 2
+
+    doubled = pool.map(lambda t: t + 1, tasks)
+    scored = list(pool.imap_unordered(score, tasks))
+    return doubled, scored

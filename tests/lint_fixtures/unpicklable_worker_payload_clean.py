@@ -1,0 +1,15 @@
+"""Clean twin for the ``unpicklable-worker-payload`` rule."""
+
+
+def score(task):
+    return task * 2
+
+
+def bump(task):
+    return task + 1
+
+
+def run_all(pool, tasks):
+    doubled = pool.map(bump, tasks)
+    scored = list(pool.imap_unordered(score, tasks))
+    return doubled, scored

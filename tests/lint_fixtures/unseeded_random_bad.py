@@ -1,0 +1,15 @@
+"""Seeded violation for the ``unseeded-random`` rule."""
+
+import random
+from random import choice
+
+import numpy
+
+
+def pick(items):
+    winner = random.choice(items)          # global RNG draw
+    jitter = random.random()               # global RNG draw
+    rng = random.Random()                  # OS-entropy seed
+    alias = choice(items)                  # from-import of a global draw
+    noise = numpy.random.rand(3)           # numpy global RNG
+    return winner, jitter, rng, alias, noise

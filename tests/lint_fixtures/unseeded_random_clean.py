@@ -1,0 +1,12 @@
+"""Clean twin for the ``unseeded-random`` rule."""
+
+import random
+
+import numpy
+
+
+def pick(items, seed):
+    rng = random.Random(seed)              # explicitly seeded: fine
+    winner = rng.choice(items)             # instance draw: fine
+    gen = numpy.random.default_rng(seed)   # seeded generator: fine
+    return winner, gen.random()

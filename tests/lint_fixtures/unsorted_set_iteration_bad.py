@@ -1,0 +1,16 @@
+"""Seeded violation for the ``unsorted-set-iteration`` rule."""
+
+
+class Router:
+    def __init__(self, pids):
+        self.members = set(pids)
+
+    def fanout(self, payload, extra):
+        sends = []
+        for pid in self.members:                 # set attribute
+            sends.append((pid, payload))
+        waiting = frozenset(extra)
+        order = [p for p in waiting]             # local frozenset
+        first = list({1, 2, 3})                  # set display via list()
+        keyed = tuple(dict(a=1).keys())          # dict.keys()
+        return sends, order, first, keyed

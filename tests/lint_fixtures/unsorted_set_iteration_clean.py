@@ -1,0 +1,18 @@
+"""Clean twin for the ``unsorted-set-iteration`` rule."""
+
+
+class Router:
+    def __init__(self, pids):
+        self.members = set(pids)
+
+    def fanout(self, payload, extra):
+        sends = []
+        for pid in sorted(self.members):         # explicit order
+            sends.append((pid, payload))
+        waiting = frozenset(extra)
+        if payload in waiting:                   # membership: order-free
+            sends.append((-1, payload))
+        total = sum(waiting)                     # order-insensitive consumer
+        quorum = any(p > 3 for p in waiting)     # genexp inside any(): fine
+        low = min({1, 2, 3})                     # order-insensitive consumer
+        return sends, total, quorum, low

@@ -1,0 +1,17 @@
+"""Seeded violation for the ``wallclock`` rule."""
+
+import os
+import time
+import uuid
+from datetime import datetime
+from time import time as now
+
+
+def stamp_run(record):
+    record["at"] = time.time()             # wall clock
+    record["mono"] = time.perf_counter()   # clock read
+    record["when"] = datetime.now()        # wall clock
+    record["entropy"] = os.urandom(8)      # OS entropy
+    record["id"] = uuid.uuid4()            # OS-entropy id
+    record["t"] = now()                    # from-import alias
+    return record

@@ -1,0 +1,7 @@
+"""Clean twin for the ``wallclock`` rule: logical time only."""
+
+
+def stamp_run(record, step, seed):
+    record["step"] = step                  # kernel-step logical time
+    record["seed"] = seed                  # identity from the seed grid
+    return record

@@ -1,0 +1,80 @@
+"""E18 — the durable result store: dedup makes repeat experiments free.
+
+Claims regenerated (through the store subsystem):
+* an identical scenario submitted twice is answered from the store the
+  second time — zero cells simulated, result document byte-identical;
+* record-level dedup composes across specs: growing a grid re-simulates
+  only the missing cells, and the merged grid equals a from-scratch run
+  record for record;
+* the benchmark itself: a store hit vs a cold simulation of the same
+  spec (``repro bench`` tracks the same workload as ``store-hit``).
+"""
+
+import os
+
+from conftest import report
+
+from repro.experiments import ExperimentRunner, get_scenario
+from repro.experiments.runner import expand_grid
+from repro.store import ResultStore
+
+SPEC = get_scenario("chicken-mediator").replace(seed_count=6)
+
+
+def test_store_hit_vs_cold(benchmark, tmp_path):
+    rows = []
+
+    # Populate, then prove the dedup guarantee.
+    with ResultStore(str(tmp_path / "store.sqlite")) as store:
+        with ExperimentRunner(store=store) as runner:
+            cold = store.get_or_run(SPEC, runner=runner)
+            assert not cold.hit
+
+            warm = store.get_or_run(SPEC, runner=runner)
+            assert warm.hit
+            assert warm.text == cold.text
+            rows.append(
+                f"result dedup: {len(warm.result.records)} cells answered "
+                f"from the store, bytes identical to the first run"
+            )
+
+            # Growing the grid simulates only the missing cells.
+            grown_spec = SPEC.replace(seed_count=SPEC.seed_count + 2)
+            grown = runner.run(grown_spec, store=store)
+            grid_small = len(expand_grid(SPEC))
+            grid_big = len(expand_grid(grown_spec))
+            assert grown.stats["store"]["hits"] == grid_small
+            assert grown.stats["store"]["misses"] == grid_big - grid_small
+            rows.append(
+                f"grid growth: {grid_small} cells reused, "
+                f"{grid_big - grid_small} new cells simulated"
+            )
+        with ExperimentRunner() as reference_runner:
+            reference = reference_runner.run(grown_spec)
+        assert grown.records == reference.records
+        rows.append(
+            "merged grid == from-scratch grid, record for record"
+        )
+
+        report("E18 durable result store (dedup-by-fingerprint)", rows)
+
+        # Benchmark the hit path the way the job service drives it.
+        outcome = benchmark(store.get_or_run, SPEC)
+        assert outcome.hit
+
+
+def test_store_cold_write(benchmark, tmp_path):
+    """The miss path: simulate the grid and persist it into a fresh store."""
+    counter = [0]
+
+    def cold_run():
+        counter[0] += 1
+        path = str(tmp_path / f"cold-{counter[0]}.sqlite")
+        with ResultStore(path) as store:
+            outcome = store.get_or_run(SPEC)
+        os.remove(path)
+        return outcome
+
+    outcome = benchmark(cold_run)
+    assert not outcome.hit
+    assert len(outcome.result.records) == len(expand_grid(SPEC))

@@ -85,6 +85,14 @@ __all__ = [
     "register_audit",
     "audit_names",
     "run_fuzz",
+    "ResultStore",
+    "StoreOutcome",
+    "open_store",
+    "resolve_store_path",
+    "JobSpec",
+    "JobStatus",
+    "JobClient",
+    "JobServer",
 ]
 
 _SIM_EXPORTS = (
@@ -114,6 +122,18 @@ _EXPERIMENT_EXPORTS = (
     "get_scenario",
     "register_scenario",
     "scenario_names",
+)
+_STORE_EXPORTS = (
+    "ResultStore",
+    "StoreOutcome",
+    "open_store",
+    "resolve_store_path",
+)
+_SERVICE_EXPORTS = (
+    "JobSpec",
+    "JobStatus",
+    "JobClient",
+    "JobServer",
 )
 _AUDIT_EXPORTS = (
     "AuditSpec",
@@ -170,4 +190,12 @@ def __getattr__(name):
         from repro import audit
 
         return getattr(audit, name)
+    if name in _STORE_EXPORTS:
+        from repro import store
+
+        return getattr(store, name)
+    if name in _SERVICE_EXPORTS:
+        from repro import service
+
+        return getattr(service, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

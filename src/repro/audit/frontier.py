@@ -223,23 +223,63 @@ def _engine_for(
         yield AuditEngine(spec, runner=active)
 
 
+def _stored_audit(store, spec, ks, ts, kind: str):
+    """(fingerprint, stored AuditResult or None) for a store-aware driver."""
+    from repro.store.fingerprint import audit_fingerprint
+
+    fingerprint = audit_fingerprint(spec, ks=ks, ts=ts, kind=kind)
+    text = store.fetch_result(fingerprint)
+    if text is not None:
+        store.result_hits += 1
+        return fingerprint, AuditResult.from_json(text)
+    store.result_misses += 1
+    return fingerprint, None
+
+
+def _store_audit(store, fingerprint: str, result: AuditResult, kind: str) -> None:
+    store.put_result(
+        fingerprint,
+        kind,
+        result.spec.name,
+        result.to_json(indent=2),
+        len(result.cells),
+    )
+
+
 def run_audit(
     audit: Union[str, AuditSpec],
     parallel: bool = False,
     processes: Optional[int] = None,
     timeout_s: Optional[float] = None,
     runner: Optional[ExperimentRunner] = None,
+    store=None,
 ) -> AuditResult:
-    """Audit the spec's own (k, t) cell; return a one-cell result."""
-    with _engine_for(audit, parallel, processes, timeout_s, runner) as engine:
+    """Audit the spec's own (k, t) cell; return a one-cell result.
+
+    With a ``store`` (:class:`repro.store.ResultStore`), an identical
+    audit spec is answered from the stored document without evaluating
+    anything; a miss runs normally and stores its result verbatim.
+    """
+    spec = get_audit(audit) if isinstance(audit, str) else audit
+    fingerprint = None
+    if store is not None:
+        fingerprint, stored = _stored_audit(
+            store, spec, ks=None, ts=None, kind="audit"
+        )
+        if stored is not None:
+            return stored
+    with _engine_for(spec, parallel, processes, timeout_s, runner) as engine:
         start = time.perf_counter()
         cell = engine.run_cell()
-        return AuditResult(
+        result = AuditResult(
             spec=engine.spec,
             cells=(cell,),
             elapsed_s=time.perf_counter() - start,
             parallel=engine.runner.parallel,
         )
+    if store is not None:
+        _store_audit(store, fingerprint, result, "audit")
+    return result
 
 
 def run_frontier(
@@ -250,12 +290,17 @@ def run_frontier(
     processes: Optional[int] = None,
     timeout_s: Optional[float] = None,
     runner: Optional[ExperimentRunner] = None,
+    store=None,
 ) -> AuditResult:
     """Sweep the (k, t) rectangle; return the max observed gain per cell.
 
     Defaults: ``k`` from 1 to the audit's (or scenario's) k, ``t`` from 0
     to its t. Cells whose honest baseline cannot run (e.g. a theorem bound
     violation) are reported with ``error`` set instead of failing the sweep.
+    A ``store`` dedups whole frontier documents exactly like
+    :func:`run_audit` — the (k, t) ranges participate in the fingerprint,
+    so the defaulted rectangle and an explicit identical one are distinct
+    keys only when they genuinely differ.
     """
     with _engine_for(audit, parallel, processes, timeout_s, runner) as engine:
         if ks is None:
@@ -268,11 +313,21 @@ def run_frontier(
             raise ExperimentError(
                 "frontier needs at least one k and one t value"
             )
+        fingerprint = None
+        if store is not None:
+            fingerprint, stored = _stored_audit(
+                store, engine.spec, ks=ks, ts=ts, kind="frontier"
+            )
+            if stored is not None:
+                return stored
         start = time.perf_counter()
         cells = tuple(engine.run_cell(k, t) for k in ks for t in ts)
-        return AuditResult(
+        result = AuditResult(
             spec=engine.spec,
             cells=cells,
             elapsed_s=time.perf_counter() - start,
             parallel=engine.runner.parallel,
         )
+    if store is not None:
+        _store_audit(store, fingerprint, result, "frontier")
+    return result

@@ -81,6 +81,7 @@ def run_fuzz(
     processes: Optional[int] = None,
     timeout_s: Optional[float] = None,
     runner: Optional[ExperimentRunner] = None,
+    store=None,
 ) -> list[AuditResult]:
     """Audit a stream of generated games; one :class:`AuditResult` each.
 
@@ -89,7 +90,9 @@ def run_fuzz(
     exactly those. The whole campaign shares one
     :class:`~repro.experiments.runner.ExperimentRunner` (``runner`` if
     given, else one owned by this call), so the worker pool and artifact
-    caches stay warm from game to game.
+    caches stay warm from game to game. A ``store`` dedups per target:
+    generated games already audited under identical parameters — in any
+    previous campaign — are answered from the store.
     """
     names = (
         tuple(games) if games is not None
@@ -103,6 +106,7 @@ def run_fuzz(
                     method=method,
                 ),
                 runner=shared,
+                store=store,
             )
             for game in names
         ]

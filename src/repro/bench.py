@@ -199,6 +199,62 @@ def _bench_games_construct(quick: bool) -> dict:
     return _row("games-construct", rounds * len(names), wall_s)
 
 
+@register_bench("store-hit")
+def _bench_store_hit(quick: bool) -> dict:
+    """Result-store dedup: fresh simulation vs answering from the store.
+
+    *Before* is the cold path — an empty store per round, so every round
+    simulates the full grid and persists it. *After* is a pure result
+    hit: the populated store answers ``get_or_run`` with the stored
+    document and zero simulation work.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.experiments import ExperimentRunner, get_scenario
+    from repro.store import ResultStore
+
+    spec = get_scenario("chicken-mediator").replace(
+        seed_count=4 if quick else 12
+    )
+    tmp = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        cold = None
+        round_no = [0]
+
+        def run_cold():
+            round_no[0] += 1
+            nonlocal cold
+            path = os.path.join(tmp, f"cold-{round_no[0]}.sqlite")
+            with ResultStore(path) as fresh, ExperimentRunner() as runner:
+                cold = fresh.get_or_run(spec, runner=runner)
+
+        before_s = _timed(run_cold, 2)
+
+        warm = None
+        with ResultStore(os.path.join(tmp, "warm.sqlite")) as store:
+            with ExperimentRunner(store=store) as runner:
+                store.get_or_run(spec, runner=runner)  # populate
+
+                def run_warm():
+                    nonlocal warm
+                    warm = store.get_or_run(spec, runner=runner)
+
+                after_s = _timed(run_warm, 5)
+            hits = store.counters()["result_hits"]
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    assert warm.hit, "populated store did not answer from the store"
+    assert warm.result.records == cold.result.records, (
+        "store-hit records diverged from a fresh simulation"
+    )
+    return _row(
+        "store-hit", len(warm.result.records), after_s, before_s,
+        result_hits=hits,
+    )
+
+
 @register_bench("audit-frontier")
 def _bench_audit_frontier(quick: bool) -> dict:
     """(k, t) frontier sweep with one shared runner across cells."""

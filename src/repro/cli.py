@@ -32,7 +32,19 @@ Commands:
   emit the machine-readable report (exit 1 on any active finding);
 * ``check`` — run the exact ideal-mediator robustness checker on a game;
 * ``compile`` — compile a game through one of the four theorems and run it;
-* ``attack`` — mount the Section 6.4 leak attack (leaky vs minimal).
+* ``attack`` — mount the Section 6.4 leak attack (leaky vs minimal);
+* ``serve`` — the experiment service daemon: drain the job spool onto one
+  persistent runner, answering repeated submissions from the result store;
+* ``jobs`` — the service client: ``submit`` / ``status`` / ``list`` /
+  ``logs`` / ``cancel`` / ``result`` / ``wait`` against the same spool;
+* ``store`` — inspect a result store: ``summary`` aggregates, ``query``
+  filters stored run records, ``path`` prints the resolved location.
+
+Store path precedence everywhere: ``--store PATH`` beats the
+``REPRO_STORE`` environment variable, which beats the command's default
+(no store for one-shot commands; ``~/.repro-store/store.sqlite`` for the
+service and for ``store`` inspection). The spool follows the same shape:
+``--spool`` > ``REPRO_SPOOL`` > ``~/.repro-store/spool``.
 """
 
 from __future__ import annotations
@@ -311,21 +323,53 @@ def _print_profile(result) -> None:
         f"pool: {'reused' if pool.get('reused') else 'fresh' if pool.get('used') else 'serial'}"
         f" ({pool.get('processes', 1)} process(es))"
     )
+    if "store" in stats:
+        entry = stats["store"]
+        print(
+            f"result store: {entry.get('hits', 0)} cell(s) answered from "
+            f"the store, {entry.get('misses', 0)} simulated, "
+            f"{entry.get('stored', 0)} newly stored"
+        )
+
+
+def _open_store(args, default=None):
+    """The command's store per the documented precedence, or ``None``."""
+    from repro.errors import StoreError
+    from repro.store import open_store
+
+    try:
+        return open_store(getattr(args, "store", None), default=default)
+    except StoreError as exc:
+        sys.exit(str(exc))
 
 
 def _run_and_report(args, per_run: bool) -> None:
     from repro.experiments import ExperimentRunner
 
     specs = _resolve_scenarios(args)
+    store = _open_store(args)
     try:
         with ExperimentRunner(
             parallel=args.parallel,
             processes=args.processes,
             timeout_s=args.timeout,
+            store=store,
         ) as runner:
-            results = [runner.run(spec) for spec in specs]
+            if store is not None:
+                # Result-level dedup: a spec already answered by this
+                # store comes back as the stored document (byte-stable
+                # across invocations), not a fresh simulation.
+                results = [
+                    store.get_or_run(spec, runner=runner).result
+                    for spec in specs
+                ]
+            else:
+                results = [runner.run(spec) for spec in specs]
     except ExperimentError as exc:
         sys.exit(str(exc))
+    finally:
+        if store is not None:
+            store.close()
     if getattr(args, "csv", None):
         _write_csv(args.csv, results)
         total = sum(len(r.records) for r in results)
@@ -548,17 +592,24 @@ def cmd_audit_run(args) -> None:
     from repro.audit import run_audit
 
     specs = _resolve_audits(args)
+    store = _open_store(args)
     try:
         with _audit_runner(args) as runner:
-            results = [run_audit(spec, runner=runner) for spec in specs]
+            results = [
+                run_audit(spec, runner=runner, store=store) for spec in specs
+            ]
     except (ExperimentError, GameError) as exc:
         sys.exit(str(exc))
+    finally:
+        if store is not None:
+            store.close()
     _audit_and_report(args, results)
 
 
 def cmd_audit_fuzz(args) -> None:
     from repro.audit import fuzz_summary, run_fuzz
 
+    store = _open_store(args)
     try:
         with _audit_runner(args) as runner:
             results = run_fuzz(
@@ -574,9 +625,13 @@ def cmd_audit_fuzz(args) -> None:
                 method=args.method or "auto",
                 games=args.games or None,
                 runner=runner,
+                store=store,
             )
     except (ExperimentError, GameError) as exc:
         sys.exit(str(exc))
+    finally:
+        if store is not None:
+            store.close()
     if getattr(args, "csv", None):
         _write_csv(args.csv, results)
         total = sum(len(r.cells) for r in results)
@@ -708,6 +763,7 @@ def cmd_audit_frontier(args) -> None:
     from repro.audit import run_frontier
 
     specs = _resolve_audits(args)
+    store = _open_store(args)
     try:
         with _audit_runner(args) as runner:
             results = [
@@ -718,12 +774,304 @@ def cmd_audit_frontier(args) -> None:
                     ts=(range(0, args.t_max + 1)
                         if args.t_max is not None else None),
                     runner=runner,
+                    store=store,
                 )
                 for spec in specs
             ]
     except (ExperimentError, GameError) as exc:
         sys.exit(str(exc))
+    finally:
+        if store is not None:
+            store.close()
     _audit_and_report(args, results)
+
+
+# -- the experiment service ---------------------------------------------------
+
+def _service_client(args):
+    from repro.service import JobClient, Spool, resolve_spool_path
+
+    return JobClient(Spool(resolve_spool_path(getattr(args, "spool", None))))
+
+
+def _print_job_status(status, as_json: bool) -> None:
+    if as_json:
+        print(status.to_json(indent=2))
+        return
+    progress = f"{status.done}/{status.total}" if status.total else "-"
+    line = (
+        f"{status.id}  {status.kind:8} {status.title:24} "
+        f"{status.state:9} {progress}"
+    )
+    if status.error:
+        line += f"  {status.error}"
+    print(line)
+    if status.finished and status.stats:
+        print(f"  stats: {json.dumps(status.stats, sort_keys=True)}")
+
+
+def cmd_serve(args) -> None:
+    from repro.errors import ServiceError, StoreError
+    from repro.service import JobServer, Spool, resolve_spool_path
+    from repro.store import ResultStore, default_store_path, resolve_store_path
+
+    try:
+        spool = Spool(resolve_spool_path(args.spool))
+    except OSError as exc:
+        sys.exit(f"cannot open spool: {exc}")
+    store = None
+    if not args.no_store:
+        try:
+            store = ResultStore(
+                resolve_store_path(args.store, default_store_path())
+            )
+        except StoreError as exc:
+            sys.exit(str(exc))
+    print(
+        f"repro serve: spool {spool.root}, "
+        f"store {store.path if store is not None else '(disabled)'}",
+        file=sys.stderr,
+    )
+    served = 0
+    try:
+        with JobServer(
+            spool,
+            store=store,
+            parallel=args.parallel,
+            processes=args.processes,
+            timeout_s=args.timeout,
+            poll_s=args.poll,
+        ) as server:
+            served = server.serve_forever(
+                max_jobs=args.max_jobs, idle_timeout_s=args.idle_timeout
+            )
+    except KeyboardInterrupt:
+        pass
+    except ServiceError as exc:
+        sys.exit(str(exc))
+    finally:
+        if store is not None:
+            store.close()
+    print(f"repro serve: executed {served} job(s)", file=sys.stderr)
+
+
+def cmd_jobs_submit(args) -> None:
+    from repro.errors import ServiceError
+    from repro.service import JobSpec
+
+    def _load_json_arg(path, what):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            sys.exit(f"cannot read {what} from {path}: {exc}")
+        if not isinstance(data, dict):
+            sys.exit(f"{what} file {path} must hold a JSON object")
+        return data
+
+    spec_dict = (
+        _load_json_arg(args.spec_file, "inline spec")
+        if args.spec_file else None
+    )
+    game_def = (
+        _load_json_arg(args.game_def, "GameDef")
+        if args.game_def else None
+    )
+    ks = tuple(range(1, args.k_max + 1)) if args.k_max is not None else None
+    ts = tuple(range(0, args.t_max + 1)) if args.t_max is not None else None
+    client = _service_client(args)
+    try:
+        job = JobSpec(
+            kind=args.kind,
+            name=args.name,
+            spec=spec_dict,
+            game_def=game_def,
+            ks=ks,
+            ts=ts,
+            priority=args.priority,
+            description=args.description,
+        ).validate()
+        status = client.submit(job)
+        if args.wait:
+            status = client.wait(status.id, timeout_s=args.wait_timeout)
+    except ServiceError as exc:
+        sys.exit(str(exc))
+    _print_job_status(status, args.json)
+
+
+def cmd_jobs_status(args) -> None:
+    from repro.errors import ServiceError
+
+    try:
+        status = _service_client(args).status(args.job_id)
+    except ServiceError as exc:
+        sys.exit(str(exc))
+    _print_job_status(status, args.json)
+
+
+def cmd_jobs_list(args) -> None:
+    from repro.errors import ServiceError
+
+    try:
+        statuses = _service_client(args).list_jobs()
+    except ServiceError as exc:
+        sys.exit(str(exc))
+    if args.json:
+        print(json.dumps(
+            [s.to_dict() for s in statuses], indent=2, sort_keys=True
+        ))
+        return
+    rows = [
+        (
+            s.id,
+            s.kind,
+            s.title,
+            s.state,
+            s.priority,
+            f"{s.done}/{s.total}" if s.total else "-",
+            s.error or "",
+        )
+        for s in statuses
+    ]
+    print(format_table(
+        ["job", "kind", "title", "state", "pri", "progress", "error"], rows
+    ))
+
+
+def cmd_jobs_logs(args) -> None:
+    from repro.errors import ServiceError
+
+    try:
+        print(_service_client(args).logs(args.job_id), end="")
+    except ServiceError as exc:
+        sys.exit(str(exc))
+
+
+def cmd_jobs_cancel(args) -> None:
+    from repro.errors import ServiceError
+
+    try:
+        status = _service_client(args).cancel(args.job_id)
+    except ServiceError as exc:
+        sys.exit(str(exc))
+    _print_job_status(status, args.json)
+
+
+def cmd_jobs_wait(args) -> None:
+    from repro.errors import ServiceError
+
+    try:
+        status = _service_client(args).wait(
+            args.job_id, timeout_s=args.wait_timeout
+        )
+    except ServiceError as exc:
+        sys.exit(str(exc))
+    _print_job_status(status, args.json)
+
+
+def cmd_jobs_result(args) -> None:
+    from repro.errors import ServiceError
+
+    client = _service_client(args)
+    try:
+        if args.json:
+            # The stored document, verbatim: byte-identical across
+            # dedup'd submissions of the same spec.
+            print(client.result_text(args.job_id))
+            return
+        status = client.status(args.job_id)
+        result = client.result(args.job_id)
+    except ServiceError as exc:
+        sys.exit(str(exc))
+    if status.kind == "scenario":
+        _print_result(result, per_run=False)
+    else:
+        _print_audit(result, per_candidate=False)
+
+
+def cmd_store_path(args) -> None:
+    from repro.store import default_store_path, resolve_store_path
+
+    print(resolve_store_path(args.store, default_store_path()))
+
+
+def _open_inspect_store(args):
+    from repro.errors import StoreError
+    from repro.store import ResultStore, default_store_path, resolve_store_path
+
+    path = resolve_store_path(getattr(args, "store", None), default_store_path())
+    if path != ":memory:" and not os.path.exists(path):
+        sys.exit(f"no store at {path}")
+    try:
+        return ResultStore(path)
+    except StoreError as exc:
+        sys.exit(str(exc))
+
+
+def cmd_store_summary(args) -> None:
+    store = _open_inspect_store(args)
+    try:
+        summary = store.summary()
+    finally:
+        store.close()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return
+    print(f"store {summary['path']} (schema v{summary['schema_version']})")
+    print(
+        f"{summary['runs']} run record(s), "
+        f"{summary['results']} result document(s)"
+    )
+    if summary["by_scenario"]:
+        print(format_table(
+            ["scenario", "runs"], sorted(summary["by_scenario"].items())
+        ))
+    if summary["by_kind"]:
+        print(format_table(
+            ["result kind", "documents"], sorted(summary["by_kind"].items())
+        ))
+
+
+def cmd_store_query(args) -> None:
+    store = _open_inspect_store(args)
+    try:
+        records = store.query_records(
+            scenario=args.scenario,
+            game=args.game,
+            theorem=args.theorem,
+            timing=args.timing,
+            scheduler=args.scheduler,
+            deviation=args.deviation,
+            seed_min=args.seed_min,
+            seed_max=args.seed_max,
+            limit=args.limit,
+        )
+    finally:
+        store.close()
+    if args.json:
+        print(json.dumps(
+            [r.to_dict() for r in records], indent=2, sort_keys=True
+        ))
+        return
+    rows = [
+        (
+            r.scenario,
+            r.game,
+            r.timing,
+            r.scheduler,
+            r.deviation,
+            r.seed,
+            "ok" if r.ok else (r.error or "?"),
+            f"{r.mean_payoff():.3f}" if r.ok else "-",
+        )
+        for r in records
+    ]
+    print(format_table(
+        ["scenario", "game", "timing", "scheduler", "deviation", "seed",
+         "status", "payoff"],
+        rows,
+    ))
+    print(f"\n{len(records)} stored record(s) matched", file=sys.stderr)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -765,6 +1113,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "plus cache and pool statistics per scenario")
         p.add_argument("--json", action="store_true",
                        help="emit ExperimentResult JSON instead of tables")
+        p.add_argument("--store", default=None, metavar="PATH",
+                       help="answer already-simulated cells from this "
+                            "result store and persist fresh ones "
+                            "(precedence: --store > REPRO_STORE > off)")
 
     p_games = sub.add_parser(
         "games", help="the game library (list / show subcommands)"
@@ -840,6 +1192,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit AuditResult JSON instead of tables")
         p.add_argument("--csv", default=None, metavar="PATH",
                        help="also write per-cell frontier rows as CSV")
+        p.add_argument("--store", default=None, metavar="PATH",
+                       help="dedup identical audits through this result "
+                            "store (precedence: --store > REPRO_STORE > off)")
 
     p_audit_list = audit_sub.add_parser("list", help="list registered audits")
     p_audit_list.add_argument("--json", action="store_true",
@@ -891,6 +1246,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="emit the AuditResult list as JSON")
     p_audit_fuzz.add_argument("--csv", default=None, metavar="PATH",
                               help="also write per-game frontier rows as CSV")
+    p_audit_fuzz.add_argument("--store", default=None, metavar="PATH",
+                              help="dedup identical fuzz targets through "
+                                   "this result store")
     p_audit_fuzz.set_defaults(func=cmd_audit_fuzz)
 
     p_audit_frontier = audit_sub.add_parser(
@@ -965,6 +1323,151 @@ def build_parser() -> argparse.ArgumentParser:
     p_attack.add_argument("-n", type=int, default=7)
     p_attack.add_argument("--runs", type=int, default=40)
     p_attack.set_defaults(func=cmd_attack)
+
+    def spool_option(p):
+        p.add_argument("--spool", default=None, metavar="PATH",
+                       help="job spool directory (precedence: --spool > "
+                            "REPRO_SPOOL > ~/.repro-store/spool)")
+
+    p_serve = sub.add_parser(
+        "serve", help="experiment service daemon over the job spool"
+    )
+    spool_option(p_serve)
+    p_serve.add_argument("--store", default=None, metavar="PATH",
+                         help="result store path (precedence: --store > "
+                              "REPRO_STORE > ~/.repro-store/store.sqlite)")
+    p_serve.add_argument("--no-store", action="store_true",
+                         help="serve without a result store (every job "
+                              "simulates from scratch)")
+    p_serve.add_argument("--parallel", action="store_true",
+                         help="run job grids over the persistent worker pool")
+    p_serve.add_argument("--processes", type=int, default=None)
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         help="per-run timeout in seconds")
+    p_serve.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                         help="exit after executing N jobs (CI smoke)")
+    p_serve.add_argument("--idle-timeout", type=float, default=None,
+                         metavar="S",
+                         help="exit after S seconds with an empty queue")
+    p_serve.add_argument("--poll", type=float, default=0.2, metavar="S",
+                         help="queue poll interval in seconds")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="service client: submit and follow spool jobs"
+    )
+    jobs_sub = p_jobs.add_subparsers(dest="jobs_command", required=True)
+
+    def jobs_common(p):
+        spool_option(p)
+        p.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON")
+
+    p_jobs_submit = jobs_sub.add_parser(
+        "submit", help="submit a scenario/audit/frontier job"
+    )
+    p_jobs_submit.add_argument("name", nargs="?", default=None,
+                               help="registered scenario or audit name "
+                                    "(omit when using --spec-file)")
+    p_jobs_submit.add_argument("--kind", default="scenario",
+                               choices=("scenario", "audit", "frontier"))
+    p_jobs_submit.add_argument("--spec-file", default=None, metavar="PATH",
+                               help="inline ScenarioSpec/AuditSpec JSON "
+                                    "instead of a registry name")
+    p_jobs_submit.add_argument("--game-def", default=None, metavar="PATH",
+                               help="inline GameDef JSON; the server stamps "
+                                    "it into the spec as a file: game")
+    p_jobs_submit.add_argument("--priority", type=int, default=10,
+                               help="0..99; higher runs sooner (default 10)")
+    p_jobs_submit.add_argument("--description", default="")
+    p_jobs_submit.add_argument("--k-max", type=int, default=None,
+                               help="frontier jobs: sweep k from 1 to K")
+    p_jobs_submit.add_argument("--t-max", type=int, default=None,
+                               help="frontier jobs: sweep t from 0 to T")
+    p_jobs_submit.add_argument("--wait", action="store_true",
+                               help="block until the job finishes")
+    p_jobs_submit.add_argument("--wait-timeout", type=float, default=300.0,
+                               metavar="S",
+                               help="--wait deadline in seconds (default 300)")
+    jobs_common(p_jobs_submit)
+    p_jobs_submit.set_defaults(func=cmd_jobs_submit)
+
+    p_jobs_status = jobs_sub.add_parser("status", help="one job's status")
+    p_jobs_status.add_argument("job_id")
+    jobs_common(p_jobs_status)
+    p_jobs_status.set_defaults(func=cmd_jobs_status)
+
+    p_jobs_list = jobs_sub.add_parser("list", help="every job in the spool")
+    jobs_common(p_jobs_list)
+    p_jobs_list.set_defaults(func=cmd_jobs_list)
+
+    p_jobs_logs = jobs_sub.add_parser("logs", help="one job's log")
+    p_jobs_logs.add_argument("job_id")
+    spool_option(p_jobs_logs)
+    p_jobs_logs.set_defaults(func=cmd_jobs_logs)
+
+    p_jobs_cancel = jobs_sub.add_parser(
+        "cancel", help="cancel a queued or running job"
+    )
+    p_jobs_cancel.add_argument("job_id")
+    jobs_common(p_jobs_cancel)
+    p_jobs_cancel.set_defaults(func=cmd_jobs_cancel)
+
+    p_jobs_wait = jobs_sub.add_parser(
+        "wait", help="block until a job reaches a terminal state"
+    )
+    p_jobs_wait.add_argument("job_id")
+    p_jobs_wait.add_argument("--wait-timeout", type=float, default=300.0,
+                             metavar="S",
+                             help="deadline in seconds (default 300)")
+    jobs_common(p_jobs_wait)
+    p_jobs_wait.set_defaults(func=cmd_jobs_wait)
+
+    p_jobs_result = jobs_sub.add_parser(
+        "result", help="a finished job's result (--json: verbatim document)"
+    )
+    p_jobs_result.add_argument("job_id")
+    jobs_common(p_jobs_result)
+    p_jobs_result.set_defaults(func=cmd_jobs_result)
+
+    p_store = sub.add_parser(
+        "store", help="inspect a result store (summary / query / path)"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+
+    def store_common(p):
+        p.add_argument("--store", default=None, metavar="PATH",
+                       help="store path (precedence: --store > REPRO_STORE "
+                            "> ~/.repro-store/store.sqlite)")
+        p.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON")
+
+    p_store_summary = store_sub.add_parser(
+        "summary", help="counts per scenario and result kind"
+    )
+    store_common(p_store_summary)
+    p_store_summary.set_defaults(func=cmd_store_summary)
+
+    p_store_query = store_sub.add_parser(
+        "query", help="filter stored run records"
+    )
+    store_common(p_store_query)
+    p_store_query.add_argument("--scenario", default=None)
+    p_store_query.add_argument("--game", default=None)
+    p_store_query.add_argument("--theorem", default=None)
+    p_store_query.add_argument("--timing", default=None)
+    p_store_query.add_argument("--scheduler", default=None)
+    p_store_query.add_argument("--deviation", default=None)
+    p_store_query.add_argument("--seed-min", type=int, default=None)
+    p_store_query.add_argument("--seed-max", type=int, default=None)
+    p_store_query.add_argument("--limit", type=int, default=None)
+    p_store_query.set_defaults(func=cmd_store_query)
+
+    p_store_path = store_sub.add_parser(
+        "path", help="print the resolved store path"
+    )
+    p_store_path.add_argument("--store", default=None, metavar="PATH")
+    p_store_path.set_defaults(func=cmd_store_path)
 
     return parser
 

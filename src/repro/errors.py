@@ -79,6 +79,21 @@ class LintError(ReproError):
     """
 
 
+class StoreError(ReproError):
+    """Invalid result-store operation (bad path, corrupt row, schema skew).
+
+    The store's immutability contract — a cell fingerprint is written once
+    and never overwritten — is enforced with ``INSERT OR IGNORE``, so
+    contract violations surface as silent no-ops, not this error; this is
+    only for problems with the store itself.
+    """
+
+
+class ServiceError(ReproError):
+    """Invalid job-service operation (unknown job id, malformed JobSpec,
+    result requested before the job finished, spool not initialised)."""
+
+
 class ExperimentError(ReproError):
     """Invalid experiment specification or registry lookup.
 

@@ -392,6 +392,7 @@ class ExperimentRunner:
         processes: Optional[int] = None,
         timeout_s: Optional[float] = None,
         cache_size: Optional[int] = None,
+        store=None,
     ) -> None:
         if processes is not None and processes < 1:
             raise ExperimentError("processes must be >= 1")
@@ -403,6 +404,11 @@ class ExperimentRunner:
         self.processes = processes
         self.timeout_s = timeout_s
         self.cache_size = cache_size
+        self.store = store
+        """Optional :class:`repro.store.ResultStore`: cells already in the
+        store are answered from it instead of being simulated, and fresh
+        ``ok`` records are written back after every ``run()``. The store
+        stays in this process — workers never see it."""
         self._cache = ArtifactCache(maxsize=cache_size)
         self._pool = None
         self._pool_size = 0
@@ -458,8 +464,19 @@ class ExperimentRunner:
         self,
         scenario: Union[str, ScenarioSpec],
         progress: Optional[Callable[[int, int], None]] = None,
+        store=None,
     ) -> ExperimentResult:
-        """Run one scenario grid; ``progress(done, total)`` streams status."""
+        """Run one scenario grid; ``progress(done, total)`` streams status.
+
+        With a store (the ``store`` argument, falling back to the
+        runner's own), each cell is fingerprinted first: cells the store
+        already holds are answered from it — reported to ``progress``
+        immediately, placed at their grid index, never simulated — and
+        only the missing subset is executed. Fresh ``ok`` records are
+        written back afterwards, and ``stats["store"]`` reports the
+        hit/miss split. Hit or miss, the assembled records are identical
+        to a storeless run of the same spec (wall-clock fields aside).
+        """
         if isinstance(scenario, str):
             from repro.experiments.registry import get_scenario
 
@@ -467,13 +484,37 @@ class ExperimentRunner:
         else:
             spec = scenario
         tasks = expand_grid(spec)
+        active_store = store if store is not None else self.store
+        records: list[Optional[RunRecord]] = [None] * len(tasks)
+        fingerprints: dict[int, str] = {}
+        run_tasks: Sequence[RunTask] = tasks
+        if active_store is not None:
+            # Lazy import: repro.store imports this module at package
+            # import time, so the reverse edge must not run at load.
+            from repro.store.fingerprint import run_fingerprint
+
+            fingerprints = {
+                task.index: run_fingerprint(spec, task) for task in tasks
+            }
+            stored = active_store.fetch_records(fingerprints.values())
+            missing = []
+            for task in tasks:
+                hit = stored.get(fingerprints[task.index])
+                if hit is not None:
+                    records[task.index] = hit
+                else:
+                    missing.append(task)
+            run_tasks = tuple(missing)
+        hit_count = len(tasks) - len(run_tasks)
+        if progress is not None and hit_count:
+            progress(hit_count, len(tasks))
         processes = self.processes
         if processes is None:
             processes = os.cpu_count() or 1
             if self.parallel:
                 processes = max(2, processes)
         use_parallel = (
-            self.parallel and len(tasks) > 1 and processes > 1
+            self.parallel and len(run_tasks) > 1 and processes > 1
             and not self._pool_broken
         )
         pool_reused = use_parallel and self._pool is not None
@@ -482,7 +523,8 @@ class ExperimentRunner:
         if use_parallel:
             try:
                 records, stats = self._run_parallel(
-                    spec, tasks, processes, progress
+                    spec, run_tasks, processes, progress,
+                    records=records, done=hit_count, total=len(tasks),
                 )
             except (OSError, PermissionError):
                 # Sandboxes without working process pools: fall back for
@@ -493,8 +535,22 @@ class ExperimentRunner:
                 use_parallel = False
                 pool_reused = False
         if not use_parallel:
-            records, stats = self._run_serial(spec, tasks, progress)
+            records, stats = self._run_serial(
+                spec, run_tasks, progress,
+                records=records, done=hit_count, total=len(tasks),
+            )
         elapsed = time.perf_counter() - start
+        if active_store is not None:
+            stats["store"] = {
+                "hits": hit_count,
+                "misses": len(run_tasks),
+                "stored": active_store.put_records(
+                    (fingerprints[task.index], records[task.index])
+                    for task in run_tasks
+                    if records[task.index] is not None
+                    and records[task.index].ok
+                ),
+            }
         stats["pool"] = {
             "used": use_parallel,
             "processes": self._pool_size if use_parallel else 1,
@@ -520,19 +576,31 @@ class ExperimentRunner:
         spec: ScenarioSpec,
         tasks: Sequence[RunTask],
         progress: Optional[Callable[[int, int], None]] = None,
+        records: Optional[list] = None,
+        done: int = 0,
+        total: Optional[int] = None,
     ) -> tuple[list[RunRecord], dict]:
+        """Execute ``tasks``, placing each record at its grid index.
+
+        ``records``/``done``/``total`` let a store-aware ``run()`` hand in
+        a grid-sized list pre-filled with store hits: the subset executed
+        here still lands at ``task.index``, and progress continues from
+        the hits already reported.
+        """
+        if records is None:
+            records = [None] * len(tasks)
+        if total is None:
+            total = len(tasks)
         phases = [0.0, 0.0, 0.0]
         before = (self._cache.hits, self._cache.misses)
-        records = []
-        for done, task in enumerate(tasks, start=1):
-            records.append(
-                execute_task(
-                    spec, task, self.timeout_s,
-                    cache=self._cache, phases=phases,
-                )
+        for task in tasks:
+            records[task.index] = execute_task(
+                spec, task, self.timeout_s,
+                cache=self._cache, phases=phases,
             )
+            done += 1
             if progress is not None:
-                progress(done, len(tasks))
+                progress(done, total)
         stats = {
             "cache": {
                 "hits": self._cache.hits - before[0],
@@ -553,6 +621,9 @@ class ExperimentRunner:
         tasks: Sequence[RunTask],
         processes: int,
         progress: Optional[Callable[[int, int], None]] = None,
+        records: Optional[list] = None,
+        done: int = 0,
+        total: Optional[int] = None,
     ) -> tuple[list[RunRecord], dict]:
         # Never fork more workers than the grid has cells (but at least 2
         # — a 1-worker "pool" is just slower serial).
@@ -562,10 +633,12 @@ class ExperimentRunner:
         # order is restored from task indices afterwards, so records are
         # byte-identical to serial whatever the completion order.
         chunksize = max(1, min(16, len(tasks) // (processes * 4) or 1))
-        records: list[Optional[RunRecord]] = [None] * len(tasks)
+        if records is None:
+            records = [None] * len(tasks)
+        if total is None:
+            total = len(tasks)
         phases = [0.0, 0.0, 0.0]
         hits = misses = 0
-        done = 0
         for index, record, cell_stats in pool.imap_unordered(
             _pool_worker, payloads, chunksize=chunksize
         ):
@@ -577,7 +650,7 @@ class ExperimentRunner:
             misses += cell_stats[4]
             done += 1
             if progress is not None:
-                progress(done, len(tasks))
+                progress(done, total)
         stats = {
             "cache": {"hits": hits, "misses": misses},
             "phases": {

@@ -131,10 +131,25 @@ _WALLCLOCK_CALLS = {
     "uuid.uuid4": "OS-entropy id",
 }
 
+#: Reasons that stay banned even where clock reads are exempt.
+_ENTROPY_REASONS = frozenset({
+    "OS entropy", "OS-entropy id", "host/clock-dependent id",
+})
+
+#: Packages the rule scans where *clock* reads are legitimate (job
+#: timestamps, daemon polling, store mtimes) but OS entropy stays banned
+#: (job ids and fingerprints must not depend on it).
+CLOCK_EXEMPT_PACKAGES = ("service", "store")
+
 
 @register_rule
 class WallClockRule(Rule):
-    """No clock or OS-entropy reads in simulation-path packages."""
+    """No clock or OS-entropy reads in simulation-path packages.
+
+    The service/store layers are scanned too, under a scoped exemption:
+    their clock reads are allowed (that is what a job queue does), but
+    OS-entropy reads are findings everywhere the rule looks.
+    """
 
     name = "wallclock"
     description = (
@@ -142,11 +157,20 @@ class WallClockRule(Rule):
         "the simulation path make runs depend on when/where they execute; "
         "timing belongs to the TimingModel, randomness to seeded streams "
         "(elapsed-time profiling lives in the experiment layer, which this "
-        "rule does not cover)"
+        "rule does not cover; repro.service/repro.store may read clocks "
+        "but not OS entropy)"
     )
-    packages = SIM_PACKAGES
+    packages = SIM_PACKAGES + CLOCK_EXEMPT_PACKAGES
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        clocks_exempt = (
+            bool(module.repro_parts)
+            and module.repro_parts[0] in CLOCK_EXEMPT_PACKAGES
+        )
+        scope = (
+            f"repro.{module.repro_parts[0]}" if clocks_exempt
+            else "the simulation path"
+        )
         secrets_aliases = import_aliases(module.tree, "secrets")
         named = {}
         for mod in ("time", "os", "uuid", "datetime"):
@@ -168,26 +192,29 @@ class WallClockRule(Rule):
             if parts[0] in secrets_aliases and len(parts) > 1:
                 yield module.finding(
                     self, node,
-                    f"{name}() reads OS entropy inside the simulation "
-                    f"path; use a seeded stream",
+                    f"{name}() reads OS entropy inside {scope}; "
+                    f"use a seeded stream",
                 )
                 continue
-            if name in named:
-                dotted = named[name]
-                yield module.finding(
-                    self, node,
-                    f"{name}() is a {_WALLCLOCK_CALLS[dotted]} inside the "
-                    f"simulation path ({dotted}); runs must be pure in "
-                    f"(spec, seed)",
-                )
+            dotted = named.get(name)
+            if dotted is None:
+                suffix = ".".join(parts[-2:]) if len(parts) >= 2 else name
+                if suffix in _WALLCLOCK_CALLS:
+                    dotted = suffix
+            if dotted is None:
                 continue
-            suffix = ".".join(parts[-2:]) if len(parts) >= 2 else name
-            if suffix in _WALLCLOCK_CALLS:
-                yield module.finding(
-                    self, node,
-                    f"{name}() is a {_WALLCLOCK_CALLS[suffix]} inside the "
-                    f"simulation path; runs must be pure in (spec, seed)",
-                )
+            reason = _WALLCLOCK_CALLS[dotted]
+            if clocks_exempt and reason not in _ENTROPY_REASONS:
+                continue
+            yield module.finding(
+                self, node,
+                f"{name}() is a {reason} inside {scope} ({dotted}); "
+                + (
+                    "derive ids from pid/counter/clock instead"
+                    if clocks_exempt
+                    else "runs must be pure in (spec, seed)"
+                ),
+            )
 
 
 #: Builtins whose result does not depend on iteration order.

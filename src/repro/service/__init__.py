@@ -1,0 +1,41 @@
+"""Long-lived experiment job service over a filesystem spool.
+
+:mod:`repro.service.jobs` defines the JSON job contract,
+:mod:`repro.service.spool` the on-disk queue protocol,
+:mod:`repro.service.server` the daemon (``repro serve``), and
+:mod:`repro.service.client` the client (``repro jobs ...``).
+
+This package legitimately reads wall clocks (job timestamps, daemon
+polling, progress throttling) — the ``wallclock`` lint rule carries a
+scoped exemption for it; simulation packages remain clock-free.
+"""
+
+from repro.service.client import JobClient, make_client
+from repro.service.jobs import (
+    JOB_KINDS,
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobSpec,
+    JobStatus,
+)
+from repro.service.server import JobCancelled, JobServer
+from repro.service.spool import (
+    Spool,
+    default_spool_path,
+    resolve_spool_path,
+)
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobCancelled",
+    "JobClient",
+    "JobServer",
+    "JobSpec",
+    "JobStatus",
+    "Spool",
+    "default_spool_path",
+    "make_client",
+    "resolve_spool_path",
+]

@@ -1,0 +1,108 @@
+"""The client side of the spool protocol: submit, observe, cancel, fetch.
+
+A :class:`JobClient` talks to the same :class:`~repro.service.spool.Spool`
+the server drains. Everything is plain file I/O, so a client works with
+no server running (jobs just stay queued) and keeps working on a spool
+whose server crashed — the spool *is* the API.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+from repro.audit.frontier import AuditResult
+from repro.errors import ServiceError
+from repro.experiments.results import ExperimentResult
+from repro.service.jobs import JobSpec, JobStatus
+from repro.service.spool import Spool
+
+
+class JobClient:
+    """Submit jobs to a spool and follow their lifecycle."""
+
+    def __init__(self, spool: Spool) -> None:
+        self.spool = spool
+
+    def submit(self, spec: JobSpec) -> JobStatus:
+        return self.spool.submit(spec)
+
+    def status(self, job_id: str) -> JobStatus:
+        return self.spool.read_status(job_id)
+
+    def list_jobs(self) -> list[JobStatus]:
+        """Every job the spool knows, oldest submission first."""
+        statuses = [self.spool.read_status(jid) for jid in self.spool.job_ids()]
+        return sorted(statuses, key=lambda s: (s.submitted_at, s.id))
+
+    def logs(self, job_id: str) -> str:
+        return self.spool.read_log(job_id)
+
+    def result_text(self, job_id: str) -> str:
+        """The stored result document verbatim (byte-stable across hits)."""
+        return self.spool.read_result_text(job_id)
+
+    def result(
+        self, job_id: str
+    ) -> Union[ExperimentResult, AuditResult]:
+        """The parsed result, typed by the job's kind."""
+        status = self.spool.read_status(job_id)
+        text = self.spool.read_result_text(job_id)
+        if status.kind == "scenario":
+            return ExperimentResult.from_json(text)
+        return AuditResult.from_json(text)
+
+    def cancel(self, job_id: str) -> JobStatus:
+        """Cancel a job; already-finished jobs are returned unchanged.
+
+        A still-queued job is dequeued here (ticket removed — the remove
+        races the server's claim, and exactly one side wins) and marked
+        cancelled immediately. A running job gets the cancel marker and
+        transitions when the server's progress callback next observes it.
+        """
+        status = self.spool.read_status(job_id)
+        if status.finished:
+            return status
+        self.spool.request_cancel(job_id)
+        if self.spool.remove_ticket(job_id):
+            status = status.replace(state="cancelled", finished_at=time.time())
+            self.spool.write_status(status)
+            return status
+        return self.spool.read_status(job_id)
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: float = 120.0,
+        poll_s: float = 0.1,
+    ) -> JobStatus:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status(job_id)
+            if status.finished:
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout_s}s waiting for job "
+                    f"{job_id} (state: {status.state})"
+                )
+            time.sleep(poll_s)
+
+    def submit_and_wait(
+        self,
+        spec: JobSpec,
+        timeout_s: float = 120.0,
+        poll_s: float = 0.1,
+    ) -> JobStatus:
+        """Submit, then :meth:`wait` — needs a live server to finish."""
+        return self.wait(
+            self.submit(spec).id, timeout_s=timeout_s, poll_s=poll_s
+        )
+
+
+def make_client(spool_path: Optional[str] = None) -> JobClient:
+    """A client over the resolved spool (``--spool`` > env > default)."""
+    from repro.service.spool import resolve_spool_path
+
+    return JobClient(Spool(resolve_spool_path(spool_path)))

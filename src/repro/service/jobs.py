@@ -1,0 +1,199 @@
+"""Job specifications and lifecycle status for the experiment service.
+
+A :class:`JobSpec` is what a client submits: *what* to run (a registry
+name or an inline spec dict for a scenario, audit, or frontier, plus an
+optional inline :class:`~repro.games.dsl.GameDef` dict) and how urgently
+(``priority``). A :class:`JobStatus` is what everyone reads back: the
+lifecycle state, live progress, and — once finished — the stats that
+prove how much of the work the result store answered.
+
+Both round-trip losslessly through JSON; the spool keeps them as files,
+so the JSON form *is* the wire format between client and server.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ServiceError
+
+JOB_KINDS = ("scenario", "audit", "frontier")
+
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+MAX_PRIORITY = 99
+
+
+def _opt_tuple(value):
+    return tuple(value) if value is not None else None
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of submitted work.
+
+    Exactly one of ``name`` (a registry entry) and ``spec`` (an inline
+    ScenarioSpec/AuditSpec dict) identifies the work. ``game_def`` is an
+    inline GameDef dict: the server materializes it to a file inside the
+    job directory and stamps the resulting ``file:`` name into the spec's
+    ``game`` — so a client can submit a game nobody registered.
+    ``ks``/``ts`` narrow a frontier's rectangle and are only legal for
+    ``kind="frontier"``.
+    """
+
+    kind: str
+    name: Optional[str] = None
+    spec: Optional[dict] = None
+    game_def: Optional[dict] = None
+    ks: Optional[tuple] = None
+    ts: Optional[tuple] = None
+    priority: int = 10
+    description: str = ""
+
+    def validate(self) -> "JobSpec":
+        if self.kind not in JOB_KINDS:
+            raise ServiceError(
+                f"unknown job kind {self.kind!r}; expected one of "
+                f"{', '.join(JOB_KINDS)}"
+            )
+        if (self.name is None) == (self.spec is None):
+            raise ServiceError(
+                "a JobSpec needs exactly one of name= (a registry entry) "
+                "or spec= (an inline spec dict)"
+            )
+        if self.kind != "frontier" and (self.ks is not None or self.ts is not None):
+            raise ServiceError("ks/ts only apply to frontier jobs")
+        if not isinstance(self.priority, int) or not (
+            0 <= self.priority <= MAX_PRIORITY
+        ):
+            raise ServiceError(
+                f"priority must be an int in 0..{MAX_PRIORITY}, "
+                f"got {self.priority!r}"
+            )
+        return self
+
+    @property
+    def title(self) -> str:
+        """What listings show: the registry name or the inline spec's."""
+        if self.name is not None:
+            return self.name
+        inline = (self.spec or {}).get("name")
+        return str(inline) if inline else f"<inline {self.kind}>"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "spec": self.spec,
+            "game_def": self.game_def,
+            "ks": self.ks,
+            "ts": self.ts,
+            "priority": self.priority,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ServiceError(
+                f"unknown JobSpec fields: {', '.join(sorted(unknown))}"
+            )
+        if "kind" not in data:
+            raise ServiceError("a JobSpec needs a 'kind'")
+        coerced = dict(data)
+        for key in ("ks", "ts"):
+            if coerced.get(key) is not None:
+                coerced[key] = _opt_tuple(coerced[key])
+        return cls(**coerced).validate()
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "JobSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"malformed JobSpec JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ServiceError("a JobSpec must be a JSON object")
+        return cls.from_dict(data)
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """The whole lifecycle of one job, as the spool's ``status.json``.
+
+    ``stats`` carries the dedup proof once the job finishes:
+    ``result_hit`` (the entire result document came from the store) and
+    the runner's ``store`` hit/miss split for partially-cached grids.
+    """
+
+    id: str
+    state: str
+    kind: str
+    title: str
+    priority: int
+    submitted_at: float
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    done: int = 0
+    total: int = 0
+    error: Optional[str] = None
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def replace(self, **changes) -> "JobStatus":
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "state": self.state,
+            "kind": self.kind,
+            "title": self.title,
+            "priority": self.priority,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "done": self.done,
+            "total": self.total,
+            "error": self.error,
+            "stats": self.stats,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobStatus":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ServiceError(
+                f"unknown JobStatus fields: {', '.join(sorted(unknown))}"
+            )
+        if data.get("state") not in JOB_STATES:
+            raise ServiceError(
+                f"unknown job state {data.get('state')!r}; expected one of "
+                f"{', '.join(JOB_STATES)}"
+            )
+        return cls(**data)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "JobStatus":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"malformed JobStatus JSON: {exc}") from exc
+        return cls.from_dict(data)

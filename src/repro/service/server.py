@@ -1,0 +1,280 @@
+"""The job server: a daemon loop draining the spool onto one warm runner.
+
+One :class:`JobServer` owns one persistent
+:class:`~repro.experiments.runner.ExperimentRunner` (the PR 5 pool — its
+workers and artifact caches stay warm across jobs) and, usually, one
+:class:`~repro.store.ResultStore`. Every claimed job runs through the
+store-aware paths, so the server's answer to a repeated submission is a
+store lookup, not a simulation; the per-job counter deltas land in the
+job's ``stats["store"]`` as the dedup proof.
+
+Lifecycle: ``queued`` (ticket in the spool) → ``running`` (ticket
+claimed; ``status.json`` streams ``done/total`` from the runner's
+progress callback) → ``done`` / ``failed`` / ``cancelled``. Cancellation
+is cooperative: a marker file checked at claim time and inside the
+progress callback — so a running *scenario* aborts between cells, while
+audit/frontier jobs (whose engine exposes no callback) only honor
+cancellation observed before they start.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.errors import ReproError, ServiceError
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.spec import ScenarioSpec
+from repro.games.registry import FILE_GAME_PREFIX
+from repro.service.jobs import JobSpec, JobStatus
+from repro.service.spool import Spool
+
+
+class JobCancelled(Exception):
+    """Internal control flow: the job's cancel marker appeared mid-run."""
+
+
+class JobServer:
+    """Claim and execute spool jobs until told to stop.
+
+    ``store=None`` serves without dedup (every job simulates); the CLI
+    wires in the resolved store by default. The server owns its runner;
+    use it as a context manager (or call :meth:`close`) so the worker
+    pool is torn down deliberately.
+    """
+
+    def __init__(
+        self,
+        spool: Spool,
+        store=None,
+        parallel: bool = False,
+        processes: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+        poll_s: float = 0.2,
+        status_interval_s: float = 0.2,
+    ) -> None:
+        self.spool = spool
+        self.store = store
+        self.poll_s = poll_s
+        self.status_interval_s = status_interval_s
+        self._runner = ExperimentRunner(
+            parallel=parallel,
+            processes=processes,
+            timeout_s=timeout_s,
+            store=store,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self._runner.close()
+
+    def __enter__(self) -> "JobServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the daemon loop -----------------------------------------------------
+
+    def serve_forever(
+        self,
+        max_jobs: Optional[int] = None,
+        idle_timeout_s: Optional[float] = None,
+    ) -> int:
+        """Drain the queue; returns how many jobs were executed.
+
+        ``max_jobs`` bounds the run (CI smoke uses 1); ``idle_timeout_s``
+        exits after that long with an empty queue (tests); with neither,
+        the loop runs until the process is killed.
+        """
+        served = 0
+        idle_since = time.monotonic()
+        while True:
+            job_id = self.spool.claim_next()
+            if job_id is None:
+                if idle_timeout_s is not None and (
+                    time.monotonic() - idle_since >= idle_timeout_s
+                ):
+                    return served
+                time.sleep(self.poll_s)
+                continue
+            self.run_job(job_id)
+            served += 1
+            idle_since = time.monotonic()
+            if max_jobs is not None and served >= max_jobs:
+                return served
+
+    def run_once(self) -> Optional[str]:
+        """Claim and run at most one job; returns its id, or ``None``."""
+        job_id = self.spool.claim_next()
+        if job_id is not None:
+            self.run_job(job_id)
+        return job_id
+
+    # -- executing one job ---------------------------------------------------
+
+    def run_job(self, job_id: str) -> JobStatus:
+        """Execute one already-claimed job through its whole lifecycle."""
+        spool = self.spool
+        status = spool.read_status(job_id)
+        if spool.cancel_requested(job_id):
+            status = status.replace(
+                state="cancelled", finished_at=time.time()
+            )
+            spool.write_status(status)
+            spool.append_log(job_id, "cancelled before start")
+            return status
+        try:
+            spec = spool.read_spec(job_id)
+        except ServiceError as exc:
+            return self._finish(status, "failed", error=str(exc))
+        status = status.replace(state="running", started_at=time.time())
+        spool.write_status(status)
+        spool.append_log(
+            job_id, f"started: {spec.kind} {spec.title!r}"
+            + (f" — {spec.description}" if spec.description else "")
+        )
+        before = self.store.counters() if self.store is not None else None
+        try:
+            text, total, stats = self._execute(job_id, spec, status)
+        except JobCancelled:
+            spool.append_log(job_id, "cancelled while running")
+            return self._finish(status, "cancelled")
+        except ReproError as exc:
+            spool.append_log(job_id, f"failed: {exc}")
+            return self._finish(status, "failed", error=str(exc))
+        except Exception as exc:  # noqa: BLE001 — a job must not kill the daemon
+            message = f"{type(exc).__name__}: {exc}"
+            spool.append_log(job_id, f"failed: {message}")
+            return self._finish(status, "failed", error=message)
+        if before is not None:
+            after = self.store.counters()
+            stats["store"] = {
+                key: after[key] - before[key] for key in sorted(after)
+            }
+        spool.write_result_text(job_id, text)
+        spool.append_log(
+            job_id,
+            f"done: {total} unit(s)"
+            + (
+                f", store {stats['store']}" if "store" in stats else ""
+            ),
+        )
+        return self._finish(
+            status, "done", done=total, total=total, stats=stats
+        )
+
+    def _finish(
+        self,
+        status: JobStatus,
+        state: str,
+        error: Optional[str] = None,
+        done: Optional[int] = None,
+        total: Optional[int] = None,
+        stats: Optional[dict] = None,
+    ) -> JobStatus:
+        status = status.replace(
+            state=state,
+            finished_at=time.time(),
+            error=error,
+            done=done if done is not None else status.done,
+            total=total if total is not None else status.total,
+            stats=stats if stats is not None else status.stats,
+        )
+        self.spool.write_status(status)
+        return status
+
+    def _progress_callback(self, job_id: str, status: JobStatus):
+        """Stream ``done/total`` into status.json; honor the cancel marker.
+
+        Status writes are throttled to ``status_interval_s`` (final
+        update always lands) so tiny fast cells don't turn the spool
+        into a write amplifier.
+        """
+        spool = self.spool
+        last_write = [0.0]
+
+        def progress(done: int, total: int) -> None:
+            if spool.cancel_requested(job_id):
+                raise JobCancelled()
+            now = time.monotonic()
+            if done >= total or now - last_write[0] >= self.status_interval_s:
+                last_write[0] = now
+                spool.write_status(
+                    status.replace(state="running", done=done, total=total)
+                )
+
+        return progress
+
+    # -- spec materialization ------------------------------------------------
+
+    def _with_game_def(self, spec, job_spec: JobSpec):
+        """Stamp an inline GameDef into the spec as a ``file:`` game."""
+        if job_spec.game_def is None:
+            return spec
+        path = self.spool.materialize_game_def(job_spec.game_def)
+        return spec.replace(game=f"{FILE_GAME_PREFIX}{path}")
+
+    def _scenario_spec(self, job_spec: JobSpec) -> ScenarioSpec:
+        if job_spec.name is not None:
+            from repro.experiments.registry import get_scenario
+
+            spec = get_scenario(job_spec.name)
+        else:
+            spec = ScenarioSpec.from_dict(job_spec.spec)
+        return self._with_game_def(spec, job_spec)
+
+    def _audit_spec(self, job_spec: JobSpec):
+        from repro.audit.registry import AuditSpec, get_audit
+
+        if job_spec.name is not None:
+            spec = get_audit(job_spec.name)
+        else:
+            spec = AuditSpec.from_dict(job_spec.spec)
+        return self._with_game_def(spec, job_spec)
+
+    # -- kind dispatch -------------------------------------------------------
+
+    def _execute(
+        self, job_id: str, job_spec: JobSpec, status: JobStatus
+    ) -> tuple[str, int, dict]:
+        """Run the job's payload; returns (result text, units, stats)."""
+        progress = self._progress_callback(job_id, status)
+        if job_spec.kind == "scenario":
+            spec = self._scenario_spec(job_spec)
+            if self.store is not None:
+                outcome = self.store.get_or_run(
+                    spec, runner=self._runner, progress=progress
+                )
+                result, text, hit = outcome.result, outcome.text, outcome.hit
+            else:
+                result = self._runner.run(spec, progress=progress)
+                text, hit = result.to_json(indent=2), False
+            stats = {
+                "result_hit": hit,
+                "parallel": result.parallel,
+            }
+            return text, len(result.records), stats
+        from repro.audit.frontier import run_audit, run_frontier
+
+        spec = self._audit_spec(job_spec)
+        hits_before = self.store.result_hits if self.store is not None else 0
+        if job_spec.kind == "audit":
+            result = run_audit(spec, runner=self._runner, store=self.store)
+        else:
+            result = run_frontier(
+                spec,
+                ks=job_spec.ks,
+                ts=job_spec.ts,
+                runner=self._runner,
+                store=self.store,
+            )
+        hit = (
+            self.store is not None and self.store.result_hits > hits_before
+        )
+        stats = {
+            "result_hit": hit,
+            "parallel": result.parallel,
+        }
+        return result.to_json(indent=2), len(result.cells), stats

@@ -1,0 +1,271 @@
+"""The filesystem spool: the service's queue and per-job state.
+
+Layout under the spool root::
+
+    queue/p<PP>-<SEQ>-<job_id>   one empty ticket file per queued job
+    jobs/<job_id>/job.json       the submitted JobSpec
+    jobs/<job_id>/status.json    the live JobStatus (atomically replaced)
+    jobs/<job_id>/log.txt        appended human-readable progress log
+    jobs/<job_id>/result.json    the result document, once done
+    jobs/<job_id>/cancel         cancel-request marker
+    jobs/<job_id>/game_def.json  materialized inline GameDef, if any
+
+Why a filesystem spool rather than a socket: every transition is an
+atomic filesystem operation, so clients and the server need no protocol
+beyond POSIX rename semantics — ``os.replace`` for status updates
+(readers see old or new bytes, never a torn file), ``os.rename`` to
+claim a ticket (exactly one claimant wins), ``os.remove`` of a ticket to
+cancel a queued job (the remove and the server's claim race; whichever
+succeeds owns the job). It also makes the queue trivially inspectable
+and survives both sides crashing.
+
+Ticket names sort lexicographically into scheduling order: the priority
+byte pair is ``99 - priority`` (so *higher* priority sorts first) and the
+sequence number is the submission timestamp in nanoseconds (FIFO within
+a priority class).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional
+
+from repro.errors import ServiceError
+from repro.service.jobs import MAX_PRIORITY, JobSpec, JobStatus
+from repro.store.core import DEFAULT_STORE_DIR, ENV_SPOOL
+from repro.store.fingerprint import canonical_json, digest
+
+
+def default_spool_path() -> str:
+    return os.path.join(os.path.expanduser(DEFAULT_STORE_DIR), "spool")
+
+
+def resolve_spool_path(explicit: Optional[str] = None) -> str:
+    """Spool precedence: ``--spool PATH`` > ``REPRO_SPOOL`` > the default."""
+    if explicit:
+        return explicit
+    env = os.environ.get(ENV_SPOOL)
+    if env:
+        return env
+    return default_spool_path()
+
+
+def _write_atomic(path: str, text: str) -> None:
+    """Readers of ``path`` see the old bytes or the new — never a tear."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    os.replace(tmp, path)
+
+
+class Spool:
+    """One spool directory, shared by any number of clients + one server.
+
+    (Nothing breaks with several servers either — ticket claiming is
+    atomic — but the persistent worker pool makes one server per machine
+    the sensible deployment.)
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(os.path.expanduser(root))
+        self.queue_dir = os.path.join(self.root, "queue")
+        self.jobs_dir = os.path.join(self.root, "jobs")
+        self.games_dir = os.path.join(self.root, "games")
+        os.makedirs(self.queue_dir, exist_ok=True)
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        os.makedirs(self.games_dir, exist_ok=True)
+        self._seq = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    def job_dir(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, job_id)
+
+    def spec_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "job.json")
+
+    def status_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "status.json")
+
+    def log_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "log.txt")
+
+    def result_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "result.json")
+
+    def cancel_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "cancel")
+
+    def materialize_game_def(self, game_def: dict) -> str:
+        """Write an inline GameDef dict to a content-addressed file.
+
+        The path is derived from the *content* (``games/<sha256>.json``),
+        so identical inline games from different jobs share one file and
+        — because the ``file:`` game name then matches — one result-store
+        fingerprint. Existing files are left untouched (same content by
+        construction).
+        """
+        text = canonical_json(game_def)
+        path = os.path.join(self.games_dir, f"{digest(game_def)}.json")
+        if not os.path.exists(path):
+            _write_atomic(path, text)
+        return path
+
+    # -- ids and tickets -----------------------------------------------------
+
+    def new_job_id(self) -> str:
+        """Unique without OS entropy: wall-clock ns + pid + local counter.
+
+        Determinism policy (the ``unseeded-random`` lint rule) bans
+        ``uuid4``/``os.urandom`` repo-wide; this triple is unique across
+        processes (pid), across submissions in one process (counter),
+        and across reboots (timestamp).
+        """
+        self._seq += 1
+        return f"j{time.time_ns():016x}-{os.getpid():x}-{self._seq:x}"
+
+    @staticmethod
+    def _ticket_name(priority: int, seq: int, job_id: str) -> str:
+        return f"p{MAX_PRIORITY - priority:02d}-{seq:020d}-{job_id}"
+
+    @staticmethod
+    def ticket_job_id(ticket: str) -> str:
+        parts = ticket.split("-", 2)
+        if len(parts) != 3:
+            raise ServiceError(f"malformed queue ticket name {ticket!r}")
+        return parts[2]
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobStatus:
+        """Register a job and enqueue its ticket; returns the queued status."""
+        spec.validate()
+        job_id = self.new_job_id()
+        job_dir = self.job_dir(job_id)
+        os.makedirs(job_dir, exist_ok=False)
+        _write_atomic(self.spec_path(job_id), spec.to_json(indent=2))
+        status = JobStatus(
+            id=job_id,
+            state="queued",
+            kind=spec.kind,
+            title=spec.title,
+            priority=spec.priority,
+            submitted_at=time.time(),
+        )
+        self.write_status(status)
+        # The ticket lands last: a server never claims a job whose spec
+        # and status files are not fully in place yet.
+        ticket = self._ticket_name(spec.priority, time.time_ns(), job_id)
+        _write_atomic(os.path.join(self.queue_dir, ticket), job_id + "\n")
+        return status
+
+    # -- job state -----------------------------------------------------------
+
+    def read_spec(self, job_id: str) -> JobSpec:
+        try:
+            with open(self.spec_path(job_id), encoding="utf-8") as fh:
+                return JobSpec.from_json(fh.read())
+        except FileNotFoundError:
+            raise ServiceError(f"unknown job id {job_id!r}") from None
+
+    def read_status(self, job_id: str) -> JobStatus:
+        try:
+            with open(self.status_path(job_id), encoding="utf-8") as fh:
+                return JobStatus.from_json(fh.read())
+        except FileNotFoundError:
+            raise ServiceError(f"unknown job id {job_id!r}") from None
+
+    def write_status(self, status: JobStatus) -> None:
+        _write_atomic(self.status_path(status.id), status.to_json(indent=2))
+
+    def append_log(self, job_id: str, message: str) -> None:
+        stamp = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(time.time()))
+        with open(self.log_path(job_id), "a", encoding="utf-8") as fh:
+            fh.write(f"[{stamp}] {message}\n")
+
+    def read_log(self, job_id: str) -> str:
+        try:
+            with open(self.log_path(job_id), encoding="utf-8") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            if not os.path.isdir(self.job_dir(job_id)):
+                raise ServiceError(f"unknown job id {job_id!r}") from None
+            return ""
+
+    def read_result_text(self, job_id: str) -> str:
+        try:
+            with open(self.result_path(job_id), encoding="utf-8") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            status = self.read_status(job_id)  # raises for unknown ids
+            raise ServiceError(
+                f"job {job_id} has no result (state: {status.state})"
+            ) from None
+
+    def write_result_text(self, job_id: str, text: str) -> None:
+        _write_atomic(self.result_path(job_id), text)
+
+    def job_ids(self) -> list[str]:
+        try:
+            entries = sorted(os.listdir(self.jobs_dir))
+        except FileNotFoundError:
+            return []
+        return [e for e in entries if os.path.isdir(self.job_dir(e))]
+
+    # -- queue ---------------------------------------------------------------
+
+    def queued_tickets(self) -> list[str]:
+        """Tickets in scheduling order (priority desc, then FIFO)."""
+        try:
+            names = os.listdir(self.queue_dir)
+        except FileNotFoundError:
+            return []
+        return sorted(n for n in names if ".tmp." not in n)
+
+    def ticket_for(self, job_id: str) -> Optional[str]:
+        for ticket in self.queued_tickets():
+            if self.ticket_job_id(ticket) == job_id:
+                return ticket
+        return None
+
+    def claim_next(self) -> Optional[str]:
+        """Atomically claim the best queued job; None when the queue is idle.
+
+        The claim is a rename of the ticket into the job directory —
+        exactly one claimant can win it, and a client cancelling the same
+        queued job (by removing the ticket) loses or wins the same race
+        cleanly.
+        """
+        for ticket in self.queued_tickets():
+            job_id = self.ticket_job_id(ticket)
+            try:
+                os.rename(
+                    os.path.join(self.queue_dir, ticket),
+                    os.path.join(self.job_dir(job_id), "ticket"),
+                )
+            except FileNotFoundError:
+                continue  # claimed or cancelled by someone else: next
+            except OSError:
+                continue  # job dir vanished under us: not ours to run
+            return job_id
+        return None
+
+    def remove_ticket(self, job_id: str) -> bool:
+        """Dequeue a still-queued job; False if it was already claimed."""
+        ticket = self.ticket_for(job_id)
+        if ticket is None:
+            return False
+        try:
+            os.remove(os.path.join(self.queue_dir, ticket))
+        except FileNotFoundError:
+            return False
+        return True
+
+    # -- cancellation --------------------------------------------------------
+
+    def request_cancel(self, job_id: str) -> None:
+        _write_atomic(self.cancel_path(job_id), "cancel\n")
+
+    def cancel_requested(self, job_id: str) -> bool:
+        return os.path.exists(self.cancel_path(job_id))

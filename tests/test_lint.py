@@ -277,6 +277,47 @@ class TestLintCli:
         assert "clean" in capsys.readouterr().out
 
 
+# -- the wallclock scoped exemption -------------------------------------------
+
+CLOCKY_SOURCE = "import time\n\ndef stamp():\n    return time.time()\n"
+ENTROPY_SOURCE = "import os\n\ndef token():\n    return os.urandom(8)\n"
+
+
+class TestWallClockScopedExemption:
+    """repro.service/repro.store may read clocks; entropy stays banned.
+
+    The same source is linted from two package locations — only the
+    module path decides, so the rule's scope list is what's under test.
+    """
+
+    def _lint_as(self, tmp_path, package, source):
+        mod = tmp_path / "repro" / package / "mod.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text(source)
+        return lint_paths([str(mod)], rules=["wallclock"])
+
+    @pytest.mark.parametrize("package", ["sim", "mediator"])
+    def test_sim_path_clock_reads_still_flag(self, tmp_path, package):
+        report = self._lint_as(tmp_path, package, CLOCKY_SOURCE)
+        assert len(report.active) == 1
+        assert "simulation path" in report.active[0].message
+
+    @pytest.mark.parametrize("package", ["service", "store"])
+    def test_service_layer_clock_reads_are_exempt(self, tmp_path, package):
+        report = self._lint_as(tmp_path, package, CLOCKY_SOURCE)
+        assert report.active == []
+
+    @pytest.mark.parametrize("package", ["service", "store"])
+    def test_service_layer_entropy_still_flags(self, tmp_path, package):
+        report = self._lint_as(tmp_path, package, ENTROPY_SOURCE)
+        assert len(report.active) == 1
+        assert f"repro.{package}" in report.active[0].message
+
+    def test_outside_scanned_packages_is_silent(self, tmp_path):
+        report = self._lint_as(tmp_path, "experiments", CLOCKY_SOURCE)
+        assert report.active == []
+
+
 # -- the repo gate ------------------------------------------------------------
 
 class TestRepoIsClean:

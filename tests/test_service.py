@@ -1,0 +1,273 @@
+"""Tests for the experiment job service (``repro.service``).
+
+Covers the JSON job contract, the filesystem spool protocol (atomic
+submission, priority + FIFO claiming, cancellation races), and the full
+server lifecycle — including the dedup proof: a second identical
+submission does zero simulation work and returns byte-identical bytes.
+"""
+
+import threading
+
+import pytest
+
+from repro.audit.frontier import AuditResult
+from repro.errors import ServiceError
+from repro.experiments import get_scenario
+from repro.experiments.results import ExperimentResult
+from repro.service import (
+    JobClient,
+    JobServer,
+    JobSpec,
+    JobStatus,
+    Spool,
+    resolve_spool_path,
+)
+from repro.service.spool import ENV_SPOOL
+from repro.store import ResultStore
+
+CHEAP = "raw-chicken-matrix"  # 4-cell grid, no simulation: fast
+
+TINY_AUDIT = {
+    "name": "tiny-audit",
+    "scenario": "chicken-mediator",
+    "budget": 2,
+    "seed_count": 1,
+    "top": 1,
+}
+
+
+def cheap_spec_dict(seeds: int = 1) -> dict:
+    return get_scenario(CHEAP).replace(seed_count=seeds).to_dict()
+
+
+@pytest.fixture
+def spool(tmp_path):
+    return Spool(str(tmp_path / "spool"))
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ResultStore(str(tmp_path / "store.sqlite")) as s:
+        yield s
+
+
+@pytest.fixture
+def server(spool, store):
+    with JobServer(spool, store=store, poll_s=0.01) as srv:
+        yield srv
+
+
+# -- the job contract ---------------------------------------------------------
+
+class TestJobSpec:
+    def test_round_trips_through_json(self):
+        spec = JobSpec(
+            kind="frontier", name="x", ks=(1, 2), ts=(0,),
+            priority=42, description="d",
+        )
+        again = JobSpec.from_json(spec.to_json(indent=2))
+        assert again == spec
+
+    def test_validation(self):
+        with pytest.raises(ServiceError, match="kind"):
+            JobSpec(kind="nope", name="x").validate()
+        with pytest.raises(ServiceError, match="exactly one"):
+            JobSpec(kind="scenario", name="x", spec={"a": 1}).validate()
+        with pytest.raises(ServiceError, match="exactly one"):
+            JobSpec(kind="scenario").validate()
+        with pytest.raises(ServiceError, match="frontier"):
+            JobSpec(kind="scenario", name="x", ks=(1,)).validate()
+        with pytest.raises(ServiceError, match="priority"):
+            JobSpec(kind="scenario", name="x", priority=100).validate()
+
+    def test_unknown_fields_are_rejected(self):
+        with pytest.raises(ServiceError, match="unknown"):
+            JobSpec.from_dict({"kind": "scenario", "name": "x", "bogus": 1})
+
+
+class TestJobStatus:
+    def test_round_trips_through_json(self):
+        status = JobStatus(
+            id="j1", state="running", kind="scenario", title="t",
+            priority=10, submitted_at=1.5, started_at=2.5,
+            done=3, total=12, stats={"result_hit": False},
+        )
+        assert JobStatus.from_json(status.to_json(indent=2)) == status
+
+    def test_invalid_state_is_rejected(self):
+        with pytest.raises(ServiceError, match="state"):
+            JobStatus.from_dict({
+                "id": "j", "state": "limbo", "kind": "scenario",
+                "title": "t", "priority": 0, "submitted_at": 0.0,
+            })
+
+    def test_finished_covers_exactly_the_terminal_states(self):
+        base = JobStatus(
+            id="j", state="queued", kind="scenario", title="t",
+            priority=0, submitted_at=0.0,
+        )
+        expectations = {
+            "queued": False, "running": False,
+            "done": True, "failed": True, "cancelled": True,
+        }
+        for state, finished in expectations.items():
+            assert base.replace(state=state).finished is finished
+
+
+# -- the spool protocol -------------------------------------------------------
+
+class TestSpool:
+    def test_submit_creates_queued_job(self, spool):
+        status = spool.submit(JobSpec(kind="scenario", name=CHEAP))
+        assert status.state == "queued"
+        assert spool.read_status(status.id) == status
+        assert spool.read_spec(status.id).name == CHEAP
+        assert spool.ticket_for(status.id) is not None
+
+    def test_claim_order_is_priority_then_fifo(self, spool):
+        low = spool.submit(JobSpec(kind="scenario", name=CHEAP, priority=5))
+        first = spool.submit(JobSpec(kind="scenario", name=CHEAP, priority=50))
+        second = spool.submit(JobSpec(kind="scenario", name=CHEAP, priority=50))
+        claimed = [spool.claim_next() for _ in range(3)]
+        assert claimed == [first.id, second.id, low.id]
+        assert spool.claim_next() is None
+
+    def test_unknown_job_ids_raise(self, spool):
+        for reader in (spool.read_status, spool.read_spec, spool.read_log):
+            with pytest.raises(ServiceError, match="unknown job id"):
+                reader("j-missing")
+
+    def test_game_defs_are_content_addressed(self, spool):
+        game = {"name": "g", "players": 2}
+        path = spool.materialize_game_def(game)
+        assert path == spool.materialize_game_def(dict(game))
+        assert path != spool.materialize_game_def({"name": "h", "players": 2})
+
+    def test_job_ids_are_unique(self, spool):
+        ids = {spool.new_job_id() for _ in range(100)}
+        assert len(ids) == 100
+
+
+# -- client-side lifecycle (no server) ----------------------------------------
+
+class TestClientWithoutServer:
+    def test_cancel_queued_job_dequeues_it(self, spool):
+        client = JobClient(spool)
+        status = client.submit(JobSpec(kind="scenario", name=CHEAP))
+        cancelled = client.cancel(status.id)
+        assert cancelled.state == "cancelled"
+        assert spool.claim_next() is None
+        # Cancelling again is a no-op on a finished job.
+        assert client.cancel(status.id).state == "cancelled"
+
+    def test_result_before_finish_is_an_error(self, spool):
+        client = JobClient(spool)
+        status = client.submit(JobSpec(kind="scenario", name=CHEAP))
+        with pytest.raises(ServiceError, match="no result"):
+            client.result_text(status.id)
+
+    def test_wait_times_out(self, spool):
+        client = JobClient(spool)
+        status = client.submit(JobSpec(kind="scenario", name=CHEAP))
+        with pytest.raises(ServiceError, match="timed out"):
+            client.wait(status.id, timeout_s=0.05, poll_s=0.01)
+
+    def test_spool_path_resolution(self, monkeypatch):
+        monkeypatch.setenv(ENV_SPOOL, "/env/spool")
+        assert resolve_spool_path("/cli/spool") == "/cli/spool"
+        assert resolve_spool_path(None) == "/env/spool"
+
+
+# -- the server ---------------------------------------------------------------
+
+class TestServer:
+    def test_scenario_job_full_lifecycle(self, spool, server):
+        client = JobClient(spool)
+        queued = client.submit(
+            JobSpec(kind="scenario", spec=cheap_spec_dict())
+        )
+        assert server.run_once() == queued.id
+        status = client.status(queued.id)
+        assert status.state == "done"
+        assert status.done == status.total == 4
+        assert status.stats["result_hit"] is False
+        result = client.result(queued.id)
+        assert isinstance(result, ExperimentResult)
+        assert len(result.records) == 4
+        assert "started" in client.logs(queued.id)
+
+    def test_second_identical_job_is_a_pure_store_hit(self, spool, server):
+        client = JobClient(spool)
+        first = client.submit(JobSpec(kind="scenario", spec=cheap_spec_dict()))
+        second = client.submit(JobSpec(kind="scenario", spec=cheap_spec_dict()))
+        server.run_once()
+        server.run_once()
+        done = client.status(second.id)
+        assert done.stats["result_hit"] is True
+        # The dedup proof: zero cells simulated, zero cells stored.
+        assert done.stats["store"]["hits"] == 0
+        assert done.stats["store"]["misses"] == 0
+        assert done.stats["store"]["result_hits"] == 1
+        assert client.result_text(first.id) == client.result_text(second.id)
+
+    def test_audit_job_runs_and_dedups(self, spool, server):
+        client = JobClient(spool)
+        first = client.submit(JobSpec(kind="audit", spec=dict(TINY_AUDIT)))
+        second = client.submit(JobSpec(kind="audit", spec=dict(TINY_AUDIT)))
+        server.run_once()
+        server.run_once()
+        assert client.status(first.id).state == "done"
+        done = client.status(second.id)
+        assert done.state == "done"
+        assert done.stats["result_hit"] is True
+        assert isinstance(client.result(second.id), AuditResult)
+        assert client.result_text(first.id) == client.result_text(second.id)
+
+    def test_unknown_scenario_fails_the_job_not_the_daemon(self, spool, server):
+        client = JobClient(spool)
+        bad = client.submit(JobSpec(kind="scenario", name="no-such"))
+        good = client.submit(JobSpec(kind="scenario", spec=cheap_spec_dict()))
+        server.run_once()
+        server.run_once()
+        failed = client.status(bad.id)
+        assert failed.state == "failed"
+        assert failed.error
+        assert client.status(good.id).state == "done"
+
+    def test_cancel_between_claim_and_start(self, spool, server):
+        client = JobClient(spool)
+        status = client.submit(JobSpec(kind="scenario", spec=cheap_spec_dict()))
+        job_id = spool.claim_next()
+        assert job_id == status.id
+        spool.request_cancel(job_id)
+        server.run_job(job_id)
+        assert client.status(job_id).state == "cancelled"
+
+    def test_serve_forever_drains_then_idles_out(self, spool, server):
+        client = JobClient(spool)
+        ids = [
+            client.submit(JobSpec(kind="scenario", spec=cheap_spec_dict())).id
+            for _ in range(2)
+        ]
+        served = []
+        thread = threading.Thread(
+            target=lambda: served.append(
+                server.serve_forever(idle_timeout_s=0.3)
+            )
+        )
+        thread.start()
+        done = [client.wait(jid, timeout_s=30.0) for jid in ids]
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert served == [2]
+        assert [s.state for s in done] == ["done", "done"]
+
+    def test_serverless_spool_without_store_still_serves(self, spool, tmp_path):
+        client = JobClient(spool)
+        status = client.submit(JobSpec(kind="scenario", spec=cheap_spec_dict()))
+        with JobServer(spool, store=None) as storeless:
+            storeless.run_once()
+        done = client.status(status.id)
+        assert done.state == "done"
+        assert done.stats["result_hit"] is False
+        assert "store" not in done.stats

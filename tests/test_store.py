@@ -1,0 +1,255 @@
+"""Tests for the durable result store (``repro.store``).
+
+The invariants under test are the ones the job service and CLI dedup
+build on: identical cells are answered from the store and never
+re-simulated; stored documents come back byte-identical; rows are
+immutable once written (first writer wins); and two processes writing
+disjoint cells into one WAL database produce one consistent merged view.
+"""
+
+import os
+import subprocess
+import sys
+import pathlib
+
+import pytest
+
+from repro.errors import StoreError
+from repro.experiments import ExperimentRunner, get_scenario
+from repro.experiments.runner import expand_grid
+from repro.store import ResultStore, open_store, resolve_store_path
+from repro.store.core import ENV_STORE, SCHEMA_VERSION
+from repro.store.fingerprint import (
+    audit_fingerprint,
+    run_fingerprint,
+    spec_fingerprint,
+)
+
+SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+
+CHEAP = "raw-chicken-matrix"  # 4-cell grid, no simulation: fast
+OTHER = "chicken-mediator"
+
+
+def small(name: str, seeds: int = 1):
+    return get_scenario(name).replace(seed_count=seeds)
+
+
+# -- path resolution ----------------------------------------------------------
+
+class TestPathResolution:
+    def test_explicit_beats_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_STORE, "/env/store.sqlite")
+        assert resolve_store_path("/cli/s.sqlite", "/d.sqlite") == "/cli/s.sqlite"
+        assert resolve_store_path(None, "/d.sqlite") == "/env/store.sqlite"
+        monkeypatch.delenv(ENV_STORE)
+        assert resolve_store_path(None, "/d.sqlite") == "/d.sqlite"
+        assert resolve_store_path(None, None) is None
+
+    def test_open_store_returns_none_without_a_path(self, monkeypatch):
+        monkeypatch.delenv(ENV_STORE, raising=False)
+        assert open_store(None, default=None) is None
+
+    def test_open_store_opens_the_resolved_path(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        with open_store(str(path)) as store:
+            assert store.path == str(path)
+        assert path.exists()
+
+
+# -- schema and immutability --------------------------------------------------
+
+class TestSchema:
+    def test_schema_version_mismatch_is_an_error(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        with ResultStore(path) as store:
+            store._conn.execute(
+                "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                (str(SCHEMA_VERSION + 1),),
+            )
+            store._conn.commit()
+        with pytest.raises(StoreError, match="schema version"):
+            ResultStore(path)
+
+    def test_records_are_immutable_once_written(self, tmp_path):
+        spec = small(CHEAP)
+        with ExperimentRunner() as runner:
+            result = runner.run(spec)
+        first, second = result.records[0], result.records[1]
+        with ResultStore(str(tmp_path / "s.sqlite")) as store:
+            assert store.put_records([("fp", first)]) == 1
+            # Same key, different record: the write is a silent no-op.
+            assert store.put_records([("fp", second)]) == 0
+            assert store.fetch_records(["fp"])["fp"] == first
+
+    def test_result_documents_are_immutable(self, tmp_path):
+        with ResultStore(str(tmp_path / "s.sqlite")) as store:
+            assert store.put_result("fp", "scenario", "a", "one", 1)
+            assert not store.put_result("fp", "scenario", "a", "two", 1)
+            assert store.fetch_result("fp") == "one"
+
+
+# -- record round trip and dedup ----------------------------------------------
+
+class TestRecordDedup:
+    def test_runner_store_round_trip_and_reuse(self, tmp_path):
+        spec = small(OTHER)
+        with ResultStore(str(tmp_path / "s.sqlite")) as store:
+            with ExperimentRunner() as runner:
+                cold = runner.run(spec, store=store)
+                assert cold.stats["store"] == {
+                    "hits": 0,
+                    "misses": len(cold.records),
+                    "stored": len(cold.records),
+                }
+                warm = runner.run(spec, store=store)
+            assert warm.stats["store"]["hits"] == len(cold.records)
+            assert warm.stats["store"]["misses"] == 0
+            assert warm.stats["store"]["stored"] == 0
+        # The dedup'd grid is the simulated grid, record for record
+        # (RunRecord equality excludes wall-clock duration).
+        with ExperimentRunner() as runner:
+            reference = runner.run(spec)
+        assert warm.records == reference.records
+
+    def test_partial_overlap_simulates_only_the_missing_cells(self, tmp_path):
+        one_seed = small(OTHER, seeds=1)
+        two_seeds = small(OTHER, seeds=2)
+        with ResultStore(str(tmp_path / "s.sqlite")) as store:
+            with ExperimentRunner() as runner:
+                runner.run(one_seed, store=store)
+                grown = runner.run(two_seeds, store=store)
+        grid_one = len(expand_grid(one_seed))
+        grid_two = len(expand_grid(two_seeds))
+        assert grown.stats["store"]["hits"] == grid_one
+        assert grown.stats["store"]["misses"] == grid_two - grid_one
+
+    def test_query_records_filters(self, tmp_path):
+        spec = small(OTHER)
+        with ResultStore(str(tmp_path / "s.sqlite")) as store:
+            with ExperimentRunner() as runner:
+                result = runner.run(spec, store=store)
+            assert len(store.query_records()) == len(result.records)
+            assert store.query_records(scenario="nope") == []
+            fifo = store.query_records(scenario=spec.name, scheduler="fifo")
+            assert fifo and all(r.scheduler == "fifo" for r in fifo)
+            assert len(store.query_records(limit=2)) == 2
+            summary = store.summary()
+            assert summary["runs"] == len(result.records)
+            assert summary["by_scenario"] == {spec.name: len(result.records)}
+
+
+# -- fingerprints -------------------------------------------------------------
+
+class TestFingerprints:
+    def test_run_fingerprints_distinguish_every_cell(self):
+        spec = small(OTHER, seeds=2)
+        tasks = expand_grid(spec)
+        fps = {run_fingerprint(spec, task) for task in tasks}
+        assert len(fps) == len(tasks)
+
+    def test_spec_fingerprint_is_sensitive_to_the_spec(self):
+        base = small(OTHER)
+        assert spec_fingerprint(base) == spec_fingerprint(small(OTHER))
+        assert spec_fingerprint(base) != spec_fingerprint(
+            base.replace(seed_count=3)
+        )
+        assert spec_fingerprint(base) != spec_fingerprint(small(CHEAP))
+
+    def test_audit_fingerprint_separates_kinds(self):
+        from repro.audit.registry import AuditSpec
+
+        spec = AuditSpec(name="x", scenario=OTHER)
+        one = audit_fingerprint(spec, (1,), (0,), "audit")
+        assert one == audit_fingerprint(spec, (1,), (0,), "audit")
+        assert one != audit_fingerprint(spec, (1,), (0,), "frontier")
+        assert one != audit_fingerprint(spec, (2,), (0,), "audit")
+
+
+# -- result-level get_or_run --------------------------------------------------
+
+class TestGetOrRun:
+    def test_hit_is_byte_identical_and_simulates_nothing(self, tmp_path):
+        spec = small(OTHER)
+        with ResultStore(str(tmp_path / "s.sqlite")) as store:
+            cold = store.get_or_run(spec)
+            assert not cold.hit
+            # No runner argument: a hit must not need one, because it
+            # does zero simulation work.
+            warm = store.get_or_run(spec)
+            assert warm.hit
+            assert warm.text == cold.text
+            assert warm.fingerprint == cold.fingerprint
+            assert warm.result == cold.result
+            assert store.counters()["result_hits"] == 1
+        # The stored document round-trips losslessly.
+        assert warm.result.to_json(indent=2) == warm.text
+
+    def test_hit_reports_full_progress(self, tmp_path):
+        spec = small(CHEAP)
+        seen = []
+        with ResultStore(str(tmp_path / "s.sqlite")) as store:
+            store.get_or_run(spec)
+            store.get_or_run(spec, progress=lambda d, t: seen.append((d, t)))
+        total = len(expand_grid(spec))
+        assert seen == [(total, total)]
+
+    def test_accepts_registry_names(self, tmp_path):
+        with ResultStore(str(tmp_path / "s.sqlite")) as store:
+            outcome = store.get_or_run(CHEAP)
+            assert outcome.result.spec.name == CHEAP
+            assert store.get_or_run(CHEAP).hit
+
+
+# -- concurrent writers -------------------------------------------------------
+
+_WRITER = """
+import sys
+from repro.experiments import ExperimentRunner, get_scenario
+from repro.store import ResultStore
+
+path, name = sys.argv[1], sys.argv[2]
+spec = get_scenario(name).replace(seed_count=1)
+with ResultStore(path) as store:
+    outcome = store.get_or_run(spec)
+print(outcome.fingerprint)
+"""
+
+
+class TestConcurrentWriters:
+    def test_two_processes_merge_into_one_consistent_view(self, tmp_path):
+        """Two processes write disjoint cells into one WAL store."""
+        path = str(tmp_path / "shared.sqlite")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _WRITER, path, name],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for name in (CHEAP, OTHER)
+        ]
+        outs = []
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            outs.append(out.strip())
+        assert outs[0] != outs[1]
+        cheap_grid = len(expand_grid(small(CHEAP)))
+        other_grid = len(expand_grid(small(OTHER)))
+        with ResultStore(path) as store:
+            summary = store.summary()
+            assert summary["runs"] == cheap_grid + other_grid
+            assert summary["by_scenario"] == {
+                CHEAP: cheap_grid,
+                OTHER: other_grid,
+            }
+            assert summary["results"] == 2
+            # Both documents are hits now — and the merged store answers
+            # each with the exact bytes its writer stored.
+            for name in (CHEAP, OTHER):
+                outcome = store.get_or_run(small(name))
+                assert outcome.hit

@@ -93,6 +93,10 @@ __all__ = [
     "JobStatus",
     "JobClient",
     "JobServer",
+    "MetricsRegistry",
+    "MetricsServer",
+    "Span",
+    "Tracer",
 ]
 
 _SIM_EXPORTS = (
@@ -134,6 +138,12 @@ _SERVICE_EXPORTS = (
     "JobStatus",
     "JobClient",
     "JobServer",
+)
+_OBS_EXPORTS = (
+    "MetricsRegistry",
+    "MetricsServer",
+    "Span",
+    "Tracer",
 )
 _AUDIT_EXPORTS = (
     "AuditSpec",
@@ -198,4 +208,8 @@ def __getattr__(name):
         from repro import service
 
         return getattr(service, name)
+    if name in _OBS_EXPORTS:
+        from repro import obs
+
+        return getattr(obs, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

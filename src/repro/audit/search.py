@@ -40,6 +40,8 @@ from repro.experiments.deviations import MODE_FOR_THEOREM
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.spec import ScenarioSpec, _tuplize
 from repro.games.registry import make_game
+from repro.obs.metrics import registry as obs_registry
+from repro.obs.tracing import span as obs_span
 
 EVAL_BATCH = 16
 """Candidates evaluated per runner call (one scenario grid per batch)."""
@@ -241,7 +243,14 @@ class AuditEngine:
     def baseline(self, k: int, t: int) -> dict:
         """Honest records for cell (k, t), keyed by grid cell (cached)."""
         key = (k, t)
+        baseline_cache = obs_registry().counter(
+            "repro_audit_baseline_cache_total",
+            "honest-baseline lookups by cache outcome",
+        )
+        if key in self._baselines:
+            baseline_cache.inc(outcome="hit")
         if key not in self._baselines:
+            baseline_cache.inc(outcome="miss")
             grouped = self._grouped_records(k, t, ("honest",))
             records = grouped.get("honest", {})
             failures = [r for r in records.values() if not r.ok]
@@ -315,24 +324,50 @@ class AuditEngine:
         baseline = self.baseline(k, t)
         candidates = list(candidates)
         scores: list[CandidateScore] = []
+        metrics = obs_registry()
         for start in range(0, len(candidates), EVAL_BATCH):
             batch = candidates[start:start + EVAL_BATCH]
-            names = tuple(
-                c.name if c.atoms else "honest" for c in batch
-            )
-            # The empty deviation *is* the baseline: score it from the
-            # cached records instead of re-running the honest grid.
-            fresh = tuple(
-                name for name in dict.fromkeys(names) if name != "honest"
-            )
-            grouped = (
-                self._grouped_records(k, t, fresh) if fresh else {}
-            )
-            grouped["honest"] = baseline
-            for candidate, name in zip(batch, names):
-                scores.append(
-                    self._score(candidate, grouped.get(name, {}), baseline)
+            t0 = time.perf_counter()
+            with obs_span(
+                "audit-batch",
+                audit=self.spec.name,
+                k=k,
+                t=t,
+                candidates=len(batch),
+            ):
+                names = tuple(
+                    c.name if c.atoms else "honest" for c in batch
                 )
+                # The empty deviation *is* the baseline: score it from the
+                # cached records instead of re-running the honest grid.
+                fresh = tuple(
+                    name for name in dict.fromkeys(names) if name != "honest"
+                )
+                grouped = (
+                    self._grouped_records(k, t, fresh) if fresh else {}
+                )
+                grouped["honest"] = baseline
+                for candidate, name in zip(batch, names):
+                    scores.append(
+                        self._score(candidate, grouped.get(name, {}), baseline)
+                    )
+            batch_s = time.perf_counter() - t0
+            metrics.counter(
+                "repro_audit_candidates_total", "candidate deviations scored"
+            ).inc(len(batch), audit=self.spec.name)
+            metrics.counter(
+                "repro_audit_batches_total", "evaluation batches run"
+            ).inc(audit=self.spec.name)
+            metrics.histogram(
+                "repro_audit_batch_seconds", "evaluation batch latency"
+            ).observe(batch_s)
+            if batch_s > 0:
+                metrics.histogram(
+                    "repro_audit_batch_throughput",
+                    "candidates per second per evaluation batch",
+                    buckets=(1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0,
+                             250.0, 500.0, 1000.0),
+                ).observe(len(batch) / batch_s)
         return scores
 
     # -- search drivers ------------------------------------------------------
@@ -421,6 +456,18 @@ class AuditEngine:
         """Audit one (k, t) cell: search the space, report the frontier point."""
         k = self.k if k is None else k
         t = self.t if t is None else t
+        with obs_span("audit-cell", audit=self.spec.name, k=k, t=t):
+            cell = self._run_cell(k, t)
+        metrics = obs_registry()
+        metrics.counter(
+            "repro_audit_cells_total", "frontier cells audited by outcome"
+        ).inc(audit=self.spec.name, outcome="error" if cell.error else "ok")
+        metrics.histogram(
+            "repro_audit_cell_seconds", "per-(k,t) audit cell latency"
+        ).observe(cell.elapsed_s)
+        return cell
+
+    def _run_cell(self, k: int, t: int) -> FrontierCell:
         spec = self.spec
         start = time.perf_counter()
         space = self.strategy_space(k, t)

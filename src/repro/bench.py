@@ -28,6 +28,9 @@ SUITE_VERSION = 1
 REGRESSION_TOLERANCE = 0.30
 """Soft-warn when cells/sec drops more than this fraction below baseline."""
 
+OBS_OVERHEAD_TOLERANCE = 0.05
+"""Soft-warn when telemetry costs more than this fraction of wall-clock."""
+
 BENCH_REGISTRY: dict[str, Callable[[bool], dict]] = {}
 
 
@@ -269,6 +272,40 @@ def _bench_audit_frontier(quick: bool) -> dict:
     return _row(
         "audit-frontier", result.evaluations(), wall_s,
         frontier_cells=len(result.cells),
+    )
+
+
+@register_bench("obs-overhead")
+def _bench_obs_overhead(quick: bool) -> dict:
+    """Telemetry cost: the same warm grid with metrics on vs ``REPRO_OBS=off``.
+
+    *Before* runs with telemetry disabled (every metric mutation a no-op),
+    *after* with the instrumented default — so ``speedup`` is the fraction
+    of throughput telemetry leaves, and ``overhead_pct`` is what it takes.
+    The record-equality assert doubles as the out-of-band proof: metrics
+    on or off, the simulated records are identical.
+    """
+    from repro.experiments import ExperimentRunner, get_scenario
+    from repro.obs.metrics import set_enabled
+
+    spec = get_scenario("chicken-mediator").replace(
+        seed_count=6 if quick else 24
+    )
+    rounds = 3
+    with ExperimentRunner() as runner:
+        on = runner.run(spec)  # warm the artifact caches first
+        try:
+            set_enabled(False)
+            off = runner.run(spec)
+            off_s = _timed(lambda: runner.run(spec), rounds)
+        finally:
+            set_enabled(None)  # back to the REPRO_OBS default
+        on_s = _timed(lambda: runner.run(spec), rounds)
+    assert on.records == off.records, "telemetry altered the run records"
+    overhead = (on_s - off_s) / off_s if off_s > 0 else 0.0
+    return _row(
+        "obs-overhead", len(on.records), on_s, off_s,
+        overhead_pct=round(overhead * 100, 2),
     )
 
 

@@ -34,9 +34,15 @@ Commands:
 * ``compile`` — compile a game through one of the four theorems and run it;
 * ``attack`` — mount the Section 6.4 leak attack (leaky vs minimal);
 * ``serve`` — the experiment service daemon: drain the job spool onto one
-  persistent runner, answering repeated submissions from the result store;
+  persistent runner, answering repeated submissions from the result store
+  (``--metrics-port`` exposes the live telemetry registry over HTTP);
 * ``jobs`` — the service client: ``submit`` / ``status`` / ``list`` /
-  ``logs`` / ``cancel`` / ``result`` / ``wait`` against the same spool;
+  ``logs`` / ``cancel`` / ``result`` / ``wait`` / ``stats`` against the
+  same spool;
+* ``profile`` — run any other repro command under cProfile and print the
+  top functions (``repro profile -- sweep chicken-mediator``);
+* ``metrics`` — scrape a running ``serve --metrics-port`` endpoint and
+  print the Prometheus text (or ``--json`` for the snapshot document);
 * ``store`` — inspect a result store: ``summary`` aggregates, ``query``
   filters stored run records, ``path`` prints the resolved location.
 
@@ -53,6 +59,8 @@ import argparse
 import json
 import os
 import sys
+import time
+from contextlib import contextmanager
 from statistics import mean
 
 from repro.analysis.reporting import format_run, format_solution_report, format_table
@@ -343,13 +351,41 @@ def _open_store(args, default=None):
         sys.exit(str(exc))
 
 
+@contextmanager
+def _trace_scope(args):
+    """Activate a tracer for the command when ``--trace-out`` was given.
+
+    On exit the collected spans — including the ones merged back from
+    pool workers — are written as a Chrome trace-event file, loadable in
+    ``chrome://tracing`` / Perfetto.
+    """
+    path = getattr(args, "trace_out", None)
+    if not path:
+        yield None
+        return
+    from repro.obs import Tracer, activate, deactivate
+
+    tracer = Tracer()
+    activate(tracer)
+    try:
+        yield tracer
+    finally:
+        deactivate()
+        events = tracer.write_chrome_trace(path)
+        print(
+            f"wrote {events} span(s) to {path} "
+            "(open in chrome://tracing or ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+
+
 def _run_and_report(args, per_run: bool) -> None:
     from repro.experiments import ExperimentRunner
 
     specs = _resolve_scenarios(args)
     store = _open_store(args)
     try:
-        with ExperimentRunner(
+        with _trace_scope(args), ExperimentRunner(
             parallel=args.parallel,
             processes=args.processes,
             timeout_s=args.timeout,
@@ -594,7 +630,7 @@ def cmd_audit_run(args) -> None:
     specs = _resolve_audits(args)
     store = _open_store(args)
     try:
-        with _audit_runner(args) as runner:
+        with _trace_scope(args), _audit_runner(args) as runner:
             results = [
                 run_audit(spec, runner=runner, store=store) for spec in specs
             ]
@@ -757,6 +793,20 @@ def cmd_bench(args) -> None:
         print(f"WARNING: bench regression — {warning}", file=sys.stderr)
         if os.environ.get("GITHUB_ACTIONS"):
             print(f"::warning title=bench regression::{warning}")
+    # Telemetry must stay cheap: the obs-overhead bench measures the same
+    # grid with metrics on and off; soft-warn past the budget, never fail.
+    from repro.bench import OBS_OVERHEAD_TOLERANCE
+
+    for row in suite["benches"]:
+        pct = row.get("overhead_pct")
+        if pct is not None and pct > 100 * OBS_OVERHEAD_TOLERANCE:
+            warning = (
+                f"{row['name']}: telemetry overhead {pct:.1f}% exceeds "
+                f"the {100 * OBS_OVERHEAD_TOLERANCE:.0f}% budget"
+            )
+            print(f"WARNING: {warning}", file=sys.stderr)
+            if os.environ.get("GITHUB_ACTIONS"):
+                print(f"::warning title=obs overhead::{warning}")
 
 
 def cmd_audit_frontier(args) -> None:
@@ -765,7 +815,7 @@ def cmd_audit_frontier(args) -> None:
     specs = _resolve_audits(args)
     store = _open_store(args)
     try:
-        with _audit_runner(args) as runner:
+        with _trace_scope(args), _audit_runner(args) as runner:
             results = [
                 run_frontier(
                     spec,
@@ -806,6 +856,11 @@ def _print_job_status(status, as_json: bool) -> None:
     if status.error:
         line += f"  {status.error}"
     print(line)
+    if status.state == "running":
+        beat = "-"
+        if status.heartbeat_at is not None:
+            beat = f"{max(time.time() - status.heartbeat_at, 0.0):.1f}s ago"
+        print(f"  phase: {status.phase or '-'}  heartbeat: {beat}")
     if status.finished and status.stats:
         print(f"  stats: {json.dumps(status.stats, sort_keys=True)}")
 
@@ -832,6 +887,20 @@ def cmd_serve(args) -> None:
         f"store {store.path if store is not None else '(disabled)'}",
         file=sys.stderr,
     )
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.errors import ObsError
+        from repro.obs import MetricsServer
+
+        metrics_server = MetricsServer(port=args.metrics_port)
+        try:
+            metrics_server.start()
+        except ObsError as exc:
+            sys.exit(str(exc))
+        print(
+            f"repro serve: metrics at {metrics_server.url}",
+            file=sys.stderr,
+        )
     served = 0
     try:
         with JobServer(
@@ -850,6 +919,8 @@ def cmd_serve(args) -> None:
     except ServiceError as exc:
         sys.exit(str(exc))
     finally:
+        if metrics_server is not None:
+            metrics_server.stop()
         if store is not None:
             store.close()
     print(f"repro serve: executed {served} job(s)", file=sys.stderr)
@@ -989,6 +1060,114 @@ def cmd_jobs_result(args) -> None:
         _print_audit(result, per_candidate=False)
 
 
+def cmd_jobs_stats(args) -> None:
+    """Aggregate the spool: per-state counts, progress, liveness."""
+    from repro.errors import ServiceError
+    from repro.service.jobs import JOB_STATES
+
+    try:
+        statuses = _service_client(args).list_jobs()
+    except ServiceError as exc:
+        sys.exit(str(exc))
+    now = time.time()
+    by_state = {state: 0 for state in JOB_STATES}
+    for status in statuses:
+        by_state[status.state] = by_state.get(status.state, 0) + 1
+    running = [
+        {
+            "id": s.id,
+            "title": s.title,
+            "phase": s.phase,
+            "done": s.done,
+            "total": s.total,
+            "heartbeat_age_s": (
+                round(max(now - s.heartbeat_at, 0.0), 3)
+                if s.heartbeat_at is not None else None
+            ),
+        }
+        for s in statuses if s.state == "running"
+    ]
+    summary = {
+        "jobs": len(statuses),
+        "by_state": by_state,
+        "queue_depth": by_state.get("queued", 0),
+        "cells_done": sum(s.done for s in statuses),
+        "result_hits": sum(
+            1 for s in statuses if s.stats.get("result_hit")
+        ),
+        "running": running,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return
+    states = "  ".join(
+        f"{state}: {by_state[state]}" for state in JOB_STATES
+    )
+    print(f"{summary['jobs']} job(s)  [{states}]")
+    print(
+        f"queue depth {summary['queue_depth']}, "
+        f"{summary['cells_done']} cell(s) done, "
+        f"{summary['result_hits']} full store hit(s)"
+    )
+    for job in running:
+        age = (
+            f"{job['heartbeat_age_s']:.1f}s ago"
+            if job["heartbeat_age_s"] is not None else "-"
+        )
+        print(
+            f"  running {job['id']} {job['title']}: "
+            f"phase {job['phase'] or '-'}, {job['done']}/{job['total']}, "
+            f"heartbeat {age}"
+        )
+
+
+def cmd_profile(args) -> None:
+    """Run another repro command under cProfile and report the hot spots."""
+    from repro.errors import ObsError
+    from repro.obs import format_profile, profile_cli
+
+    command = list(args.profile_command)
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        sys.exit(
+            "repro profile needs a command to run, e.g. "
+            "`repro profile -- sweep chicken-mediator`"
+        )
+    if command[0] == "profile":
+        sys.exit("refusing to profile `repro profile` recursively")
+    try:
+        summary = profile_cli(command, top=args.top, sort=args.sort)
+    except ObsError as exc:
+        sys.exit(str(exc))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(format_profile(summary))
+    if summary["exit_code"]:
+        raise SystemExit(summary["exit_code"])
+
+
+def cmd_metrics(args) -> None:
+    """Scrape a running ``serve --metrics-port`` endpoint."""
+    from repro.errors import ObsError
+    from repro.obs import scrape
+
+    path = "/metrics.json" if args.json else "/metrics"
+    try:
+        text = scrape(
+            url=args.url, host=args.host, port=args.port, path=path
+        )
+    except ObsError as exc:
+        sys.exit(str(exc))
+    print(text, end="" if text.endswith("\n") else "\n")
+
+
 def cmd_store_path(args) -> None:
     from repro.store import default_store_path, resolve_store_path
 
@@ -1117,6 +1296,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="answer already-simulated cells from this "
                             "result store and persist fresh ones "
                             "(precedence: --store > REPRO_STORE > off)")
+        p.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write a Chrome trace-event file of the run's "
+                            "spans (open in chrome://tracing)")
 
     p_games = sub.add_parser(
         "games", help="the game library (list / show subcommands)"
@@ -1195,6 +1377,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--store", default=None, metavar="PATH",
                        help="dedup identical audits through this result "
                             "store (precedence: --store > REPRO_STORE > off)")
+        p.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write a Chrome trace-event file of the "
+                            "audit's spans (open in chrome://tracing)")
 
     p_audit_list = audit_sub.add_parser("list", help="list registered audits")
     p_audit_list.add_argument("--json", action="store_true",
@@ -1351,6 +1536,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="exit after S seconds with an empty queue")
     p_serve.add_argument("--poll", type=float, default=0.2, metavar="S",
                          help="queue poll interval in seconds")
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         metavar="PORT",
+                         help="serve the live telemetry registry over HTTP "
+                              "on 127.0.0.1:PORT (/metrics Prometheus "
+                              "text, /metrics.json snapshot, /healthz; "
+                              "0 picks a free port)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_jobs = sub.add_parser(
@@ -1429,6 +1620,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_jobs_result.add_argument("job_id")
     jobs_common(p_jobs_result)
     p_jobs_result.set_defaults(func=cmd_jobs_result)
+
+    p_jobs_stats = jobs_sub.add_parser(
+        "stats", help="aggregate the spool: per-state counts and liveness"
+    )
+    jobs_common(p_jobs_stats)
+    p_jobs_stats.set_defaults(func=cmd_jobs_stats)
+
+    p_profile = sub.add_parser(
+        "profile", help="run another repro command under cProfile"
+    )
+    p_profile.add_argument("--top", type=int, default=20, metavar="N",
+                           help="how many functions to report (default 20)")
+    p_profile.add_argument("--sort", default="cumulative",
+                           choices=("cumulative", "tottime", "calls"),
+                           help="pstats sort order (default cumulative)")
+    p_profile.add_argument("--json", action="store_true",
+                           help="emit the profile summary as JSON")
+    p_profile.add_argument("--out", default=None, metavar="PATH",
+                           help="also write the summary JSON to PATH")
+    p_profile.add_argument("profile_command", nargs=argparse.REMAINDER,
+                           metavar="command",
+                           help="the repro command to profile, e.g. "
+                                "`-- sweep chicken-mediator`")
+    p_profile.set_defaults(func=cmd_profile)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="scrape a running serve --metrics-port endpoint"
+    )
+    p_metrics.add_argument("--url", default=None,
+                           help="full endpoint URL (overrides host/port)")
+    p_metrics.add_argument("--host", default="127.0.0.1")
+    p_metrics.add_argument("--port", type=int, default=9464,
+                           help="metrics port (default 9464)")
+    p_metrics.add_argument("--json", action="store_true",
+                           help="fetch the /metrics.json snapshot instead "
+                                "of Prometheus text")
+    p_metrics.set_defaults(func=cmd_metrics)
 
     p_store = sub.add_parser(
         "store", help="inspect a result store (summary / query / path)"

@@ -94,6 +94,16 @@ class ServiceError(ReproError):
     result requested before the job finished, spool not initialised)."""
 
 
+class ObsError(ReproError):
+    """Invalid telemetry operation (metric kind clash, malformed span JSON,
+    unparseable Chrome trace document, profile target failed to start).
+
+    Telemetry is strictly out-of-band: nothing in ``repro.obs`` may alter a
+    ``RunRecord`` or stored byte, so this error never signals corrupted
+    results — only a misuse of the observability API itself.
+    """
+
+
 class ExperimentError(ReproError):
     """Invalid experiment specification or registry lookup.
 

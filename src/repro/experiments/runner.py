@@ -51,6 +51,14 @@ from repro.experiments.cache import (
 from repro.experiments.results import ExperimentResult, RunRecord
 from repro.experiments.schedulers import scheduler_from_name
 from repro.experiments.spec import ScenarioSpec
+from repro.obs.metrics import registry as obs_registry
+from repro.obs.tracing import (
+    Tracer,
+    activate,
+    current_tracer,
+    deactivate,
+    span as obs_span,
+)
 from repro.sim.timing import timing_from_name
 
 
@@ -189,7 +197,8 @@ def _execute(
     is filled in when provided — the ``--profile`` timing breakdown.
     """
     t0 = time.perf_counter()
-    prepared = prepare_cell(spec, task, cache)
+    with obs_span("prepare"):
+        prepared = prepare_cell(spec, task, cache)
     game_spec = prepared.game_spec
     types = prepared.types
     t1 = time.perf_counter()
@@ -207,7 +216,10 @@ def _execute(
 
     if spec.theorem == "raw-game":
         actions = spec.action_profiles[task.profile_index]
-        payoffs = tuple(float(u) for u in game_spec.game.utility(types, actions))
+        with obs_span("payoff"):
+            payoffs = tuple(
+                float(u) for u in game_spec.game.utility(types, actions)
+            )
         t2 = time.perf_counter()
         if phases is not None:
             phases[0] += t1 - t0
@@ -220,9 +232,13 @@ def _execute(
         )
 
     if spec.theorem == "r1":
-        actions, result = prepared.game.run(types, seed=task.seed)
+        with obs_span("run"):
+            actions, result = prepared.game.run(types, seed=task.seed)
         t2 = time.perf_counter()
-        payoffs = tuple(float(u) for u in game_spec.game.utility(types, actions))
+        with obs_span("payoff"):
+            payoffs = tuple(
+                float(u) for u in game_spec.game.utility(types, actions)
+            )
         t3 = time.perf_counter()
         if phases is not None:
             phases[0] += t1 - t0
@@ -262,17 +278,19 @@ def _execute(
     # Trace events are only consumed when the spec captures payloads;
     # otherwise skip recording them — counters come from the network and
     # the records stay byte-identical.
-    run = prepared.game.run(
-        types, scheduler, seed=task.seed,
-        deviations=prepared.deviations or None,
-        timing=timing, record_payloads=spec.record_payloads,
-        record_trace=spec.record_payloads,
-        **run_kwargs,
-    )
+    with obs_span("run"):
+        run = prepared.game.run(
+            types, scheduler, seed=task.seed,
+            deviations=prepared.deviations or None,
+            timing=timing, record_payloads=spec.record_payloads,
+            record_trace=spec.record_payloads,
+            **run_kwargs,
+        )
     t2 = time.perf_counter()
-    payoffs = tuple(
-        float(u) for u in game_spec.game.utility(types, run.actions)
-    )
+    with obs_span("payoff"):
+        payoffs = tuple(
+            float(u) for u in game_spec.game.utility(types, run.actions)
+        )
     result = run.result
     record = RunRecord(
         actions=tuple(run.actions),
@@ -307,7 +325,15 @@ def execute_task(
     limit = timeout_s if timeout_s is not None else spec.timeout_s
     start = time.perf_counter()
     try:
-        with _time_limit(limit):
+        with obs_span(
+            "cell",
+            scenario=spec.name,
+            game=task.game or spec.game,
+            timing=task.timing,
+            scheduler=task.scheduler,
+            deviation=task.deviation,
+            seed=task.seed,
+        ), _time_limit(limit):
             record = _execute(spec, task, cache=cache, phases=phases)
     except _RunTimeout:
         record = RunRecord(
@@ -344,26 +370,49 @@ _WORKER_CACHE: Optional[ArtifactCache] = None
 """The per-worker artifact cache; persists across tasks *and* across
 ``run()`` calls because the pool itself persists."""
 
+_WORKER_TRACER: Optional[Tracer] = None
+"""Lazily created per-worker span buffer: the worker records cell spans
+into its own tracer and drains them into the (picklable) result payload,
+so the parent can merge them in task-index order — trace structure stays
+deterministic no matter which worker finishes first."""
+
 
 def _init_worker(cache_size: int) -> None:
     global _WORKER_CACHE
     _WORKER_CACHE = ArtifactCache(maxsize=cache_size)
 
 
+def _worker_tracer() -> Tracer:
+    global _WORKER_TRACER
+    if _WORKER_TRACER is None:
+        _WORKER_TRACER = Tracer()
+    return _WORKER_TRACER
+
+
 def _pool_worker(payload):
-    spec, task, timeout_s = payload
+    spec, task, timeout_s, trace = payload
     phases = [0.0, 0.0, 0.0]
     cache = _WORKER_CACHE
     before = (cache.hits, cache.misses) if cache is not None else (0, 0)
-    record = execute_task(
-        spec, task, timeout_s=timeout_s, cache=cache, phases=phases
-    )
+    spans: tuple = ()
+    if trace:
+        tracer = _worker_tracer()
+        activate(tracer)
+    try:
+        record = execute_task(
+            spec, task, timeout_s=timeout_s, cache=cache, phases=phases
+        )
+    finally:
+        if trace:
+            deactivate()
+    if trace:
+        spans = tuple(tracer.drain())
     after = (cache.hits, cache.misses) if cache is not None else (0, 0)
     stats = (
         phases[0], phases[1], phases[2],
         after[0] - before[0], after[1] - before[1],
     )
-    return task.index, record, stats
+    return task.index, record, stats, spans
 
 
 # -- the runner --------------------------------------------------------------
@@ -476,6 +525,11 @@ class ExperimentRunner:
         written back afterwards, and ``stats["store"]`` reports the
         hit/miss split. Hit or miss, the assembled records are identical
         to a storeless run of the same spec (wall-clock fields aside).
+
+        Telemetry: each ``run()`` opens a ``scenario`` span on the active
+        tracer (if any) and feeds the process-global metrics registry from
+        the same numbers that land in ``stats`` — strictly out-of-band, so
+        records are byte-identical with telemetry on or off.
         """
         if isinstance(scenario, str):
             from repro.experiments.registry import get_scenario
@@ -484,6 +538,26 @@ class ExperimentRunner:
         else:
             spec = scenario
         tasks = expand_grid(spec)
+        with obs_span(
+            "scenario", scenario=spec.name, cells=len(tasks)
+        ) as scenario_span:
+            trace_root = (
+                scenario_span.span_id if scenario_span is not None else None
+            )
+            result = self._run_grid(
+                spec, tasks, progress, store, trace_root=trace_root
+            )
+        self._record_metrics(spec, result)
+        return result
+
+    def _run_grid(
+        self,
+        spec: ScenarioSpec,
+        tasks: Sequence[RunTask],
+        progress: Optional[Callable[[int, int], None]] = None,
+        store=None,
+        trace_root: Optional[int] = None,
+    ) -> ExperimentResult:
         active_store = store if store is not None else self.store
         records: list[Optional[RunRecord]] = [None] * len(tasks)
         fingerprints: dict[int, str] = {}
@@ -525,6 +599,7 @@ class ExperimentRunner:
                 records, stats = self._run_parallel(
                     spec, run_tasks, processes, progress,
                     records=records, done=hit_count, total=len(tasks),
+                    trace_root=trace_root,
                 )
             except (OSError, PermissionError):
                 # Sandboxes without working process pools: fall back for
@@ -563,6 +638,45 @@ class ExperimentRunner:
             parallel=use_parallel,
             stats=stats,
         )
+
+    @staticmethod
+    def _record_metrics(spec: ScenarioSpec, result: ExperimentResult) -> None:
+        """Feed the global registry from the run's ``stats`` numbers.
+
+        The registry is the cross-run view of the same telemetry that
+        ``stats`` reports per result — callers of the PR 5 ``stats`` dict
+        see exactly what they always did.
+        """
+        metrics = obs_registry()
+        metrics.counter(
+            "repro_runner_runs_total", "ExperimentRunner.run() calls"
+        ).inc(scenario=spec.name)
+        metrics.counter(
+            "repro_runner_cells_total",
+            "grid cells produced (store hits included)",
+        ).inc(len(result.records), scenario=spec.name)
+        metrics.histogram(
+            "repro_runner_run_seconds", "wall-clock time per run() call"
+        ).observe(result.elapsed_s)
+        cache = result.stats.get("cache", {})
+        metrics.counter(
+            "repro_runner_cache_hits_total", "artifact-cache hits"
+        ).inc(cache.get("hits", 0))
+        metrics.counter(
+            "repro_runner_cache_misses_total", "artifact-cache misses"
+        ).inc(cache.get("misses", 0))
+        phase_seconds = metrics.counter(
+            "repro_runner_phase_seconds_total",
+            "cumulative simulation time by phase",
+        )
+        phases = result.stats.get("phases", {})
+        phase_seconds.inc(phases.get("prepare_s", 0.0), phase="prepare")
+        phase_seconds.inc(phases.get("run_s", 0.0), phase="run")
+        phase_seconds.inc(phases.get("payoff_s", 0.0), phase="payoff")
+        pool = result.stats.get("pool", {})
+        metrics.counter(
+            "repro_runner_mode_total", "run() calls by execution mode"
+        ).inc(mode="parallel" if pool.get("used") else "serial")
 
     def sweep(
         self,
@@ -624,11 +738,14 @@ class ExperimentRunner:
         records: Optional[list] = None,
         done: int = 0,
         total: Optional[int] = None,
+        trace_root: Optional[int] = None,
     ) -> tuple[list[RunRecord], dict]:
         # Never fork more workers than the grid has cells (but at least 2
         # — a 1-worker "pool" is just slower serial).
         pool = self._ensure_pool(max(2, min(processes, len(tasks))))
-        payloads = [(spec, task, self.timeout_s) for task in tasks]
+        tracer = current_tracer()
+        trace = tracer is not None
+        payloads = [(spec, task, self.timeout_s, trace) for task in tasks]
         # Chunking amortizes IPC without starving workers at the tail;
         # order is restored from task indices afterwards, so records are
         # byte-identical to serial whatever the completion order.
@@ -639,7 +756,8 @@ class ExperimentRunner:
             total = len(tasks)
         phases = [0.0, 0.0, 0.0]
         hits = misses = 0
-        for index, record, cell_stats in pool.imap_unordered(
+        span_buffers: dict[int, tuple] = {}
+        for index, record, cell_stats, cell_spans in pool.imap_unordered(
             _pool_worker, payloads, chunksize=chunksize
         ):
             records[index] = record
@@ -648,9 +766,17 @@ class ExperimentRunner:
             phases[2] += cell_stats[2]
             hits += cell_stats[3]
             misses += cell_stats[4]
+            if cell_spans:
+                span_buffers[index] = cell_spans
             done += 1
             if progress is not None:
                 progress(done, total)
+        if trace:
+            # Merge in task-index order, not completion order: span ids
+            # are remapped on merge, so the assembled trace structure is
+            # deterministic no matter which worker finished first.
+            for index in sorted(span_buffers):
+                tracer.merge(list(span_buffers[index]), root_id=trace_root)
         stats = {
             "cache": {"hits": hits, "misses": misses},
             "phases": {

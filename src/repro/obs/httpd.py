@@ -1,0 +1,139 @@
+"""Stdlib HTTP endpoint serving the metrics registry.
+
+``repro serve --metrics-port N`` starts a :class:`MetricsServer` next to
+the job loop: a daemon-threaded ``http.server`` exposing
+
+* ``/metrics`` — Prometheus text exposition format,
+* ``/metrics.json`` — the deterministic JSON snapshot,
+* ``/healthz`` — liveness probe (``ok``).
+
+The server binds to localhost by default and reads the process-global
+registry on every request, so scrapes always see live counters. Port 0
+asks the OS for a free port; :meth:`MetricsServer.start` returns the
+bound port either way. :func:`scrape` is the matching client used by
+``repro metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.errors import ObsError
+from repro.obs.metrics import MetricsRegistry, registry
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 9464  # conventional Prometheus exporter range
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    server_version = "repro-obs/1"
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        reg: MetricsRegistry = self.server.repro_registry  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = reg.render_prometheus().encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/metrics.json":
+            body = (reg.snapshot_json(indent=2) + "\n").encode()
+            content_type = "application/json"
+        elif path == "/healthz":
+            body = b"ok\n"
+            content_type = "text/plain; charset=utf-8"
+        else:
+            self.send_error(404, "unknown path (try /metrics)")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):  # noqa: A002 - http.server API
+        pass  # scrapes are high-frequency; keep the job log clean
+
+
+class MetricsServer:
+    """Background /metrics endpoint over a registry (default: the global)."""
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = DEFAULT_HOST,
+        metrics_registry: Optional[MetricsRegistry] = None,
+    ):
+        self.host = host
+        self.port = port
+        self.registry = metrics_registry or registry()
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> int:
+        """Bind and serve in a daemon thread; returns the bound port."""
+        if self._httpd is not None:
+            raise ObsError("metrics server is already running")
+        try:
+            httpd = ThreadingHTTPServer(
+                (self.host, self.port), _MetricsHandler
+            )
+        except OSError as exc:
+            raise ObsError(
+                f"cannot bind metrics endpoint on "
+                f"{self.host}:{self.port}: {exc}"
+            ) from None
+        httpd.daemon_threads = True
+        httpd.repro_registry = self.registry  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self.port = httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name="repro-metrics-httpd",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def __enter__(self) -> "MetricsServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def scrape(
+    url: Optional[str] = None,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    path: str = "/metrics",
+    timeout_s: float = 5.0,
+) -> str:
+    """Fetch a metrics document from a running endpoint (``repro metrics``)."""
+    target = url or f"http://{host}:{port}{path}"
+    if not target.startswith(("http://", "https://")):
+        raise ObsError(f"metrics URL must be http(s): {target!r}")
+    try:
+        with urllib.request.urlopen(target, timeout=timeout_s) as response:
+            return response.read().decode()
+    except OSError as exc:
+        raise ObsError(
+            f"cannot scrape {target!r}: {exc} "
+            "(is `repro serve --metrics-port` running?)"
+        ) from None

@@ -1,0 +1,105 @@
+"""Profiling hooks: cProfile + pstats rendered as a top-N JSON document.
+
+Third pillar of ``repro.obs``. :func:`profile_call` wraps any callable in
+``cProfile`` and distills the result into a JSON-safe summary (top-N
+functions by cumulative time); :func:`profile_cli` is the engine behind
+``repro profile -- <subcommand...>``, which re-enters the repro CLI under
+the profiler so any existing command line can be profiled unchanged.
+
+Like everything in ``repro.obs``, profiling is strictly out-of-band: the
+wrapped call's return value (or ``SystemExit`` code) is reported next to
+the profile, never altered.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Callable, Optional
+
+from repro.errors import ObsError
+
+PROFILE_VERSION = 1
+
+
+def _function_label(func: tuple) -> str:
+    filename, lineno, name = func
+    if filename == "~":  # built-in
+        return name
+    return f"{filename}:{lineno}({name})"
+
+
+def profile_call(
+    fn: Callable[[], object],
+    top: int = 20,
+    sort: str = "cumulative",
+) -> dict:
+    """Run ``fn`` under cProfile; return a JSON-safe top-N summary.
+
+    ``SystemExit`` raised by ``fn`` (argparse's exit path) is captured
+    into the summary as ``exit_code`` instead of propagating, so CLI
+    entry points can be profiled directly.
+    """
+    if top < 1:
+        raise ObsError(f"profile top must be >= 1, got {top}")
+    profiler = cProfile.Profile()
+    exit_code: Optional[int] = 0
+    profiler.enable()
+    try:
+        returned = fn()
+        if isinstance(returned, int):
+            exit_code = returned
+    except SystemExit as exc:
+        exit_code = exc.code if isinstance(exc.code, int) else 1
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    stats.sort_stats(sort)
+    rows = []
+    # pstats keeps (cc, nc, tt, ct, callers) per (file, line, func); its
+    # sorted order lives in fcn_list after sort_stats.
+    ordered = stats.fcn_list or list(stats.stats)
+    for func in ordered[:top]:
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        rows.append({
+            "function": _function_label(func),
+            "calls": nc,
+            "primitive_calls": cc,
+            "time_s": round(tt, 6),
+            "cumtime_s": round(ct, 6),
+        })
+    return {
+        "version": PROFILE_VERSION,
+        "sort": sort,
+        "exit_code": exit_code,
+        "total_calls": int(stats.total_calls),
+        "total_time_s": round(stats.total_tt, 6),
+        "top": rows,
+    }
+
+
+def profile_cli(argv: list[str], top: int = 20, sort: str = "cumulative"):
+    """Profile one repro CLI invocation (``repro profile -- sweep ...``)."""
+    if not argv:
+        raise ObsError("repro profile needs a command to profile")
+    from repro.cli import main as cli_main
+
+    return profile_call(lambda: cli_main(argv), top=top, sort=sort)
+
+
+def format_profile(summary: dict) -> str:
+    """Human-readable table for the non-``--json`` CLI path."""
+    lines = [
+        f"profiled {summary['total_calls']} calls "
+        f"in {summary['total_time_s']:.3f}s "
+        f"(exit code {summary['exit_code']}), "
+        f"top {len(summary['top'])} by {summary['sort']}:",
+        f"{'cumtime':>10} {'tottime':>10} {'calls':>9}  function",
+    ]
+    for row in summary["top"]:
+        lines.append(
+            f"{row['cumtime_s']:>10.4f} {row['time_s']:>10.4f} "
+            f"{row['calls']:>9}  {row['function']}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,287 @@
+"""Span tracing with lossless JSON round-trip and Chrome trace export.
+
+Second pillar of ``repro.obs``. A :class:`Tracer` records nested
+:class:`Span`\\ s — named intervals with wall-clock start, monotonic
+duration, process/thread ids and free-form attributes. Spans serialize
+losslessly to JSON (:meth:`Tracer.to_json` / :meth:`Tracer.from_json`)
+and export to the Chrome trace-event format understood by
+``chrome://tracing`` and Perfetto (:meth:`Tracer.chrome_trace`).
+
+Cross-process propagation: the multiprocessing pool boundary is crossed
+by *buffering* — a worker activates its own process-local tracer, runs
+the cell, then :meth:`Tracer.drain`\\ s its spans into the picklable
+result payload; the parent :meth:`Tracer.merge`\\ s each buffer back in
+**task-index order**, remapping span ids so merged traces are
+deterministic in structure no matter which worker finished first.
+
+Instrumented code does not thread a tracer through call signatures — it
+asks :func:`current_tracer` (or uses the module-level :func:`span`
+helper, which is a reusable null context manager when tracing is off, so
+the disabled-path overhead is one global read).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import ObsError
+
+TRACE_VERSION = 1
+
+_SPAN_FIELDS = frozenset(
+    {"name", "span_id", "parent_id", "pid", "tid", "ts_us", "dur_us", "attrs"}
+)
+
+
+@dataclass
+class Span:
+    """One named interval; ``ts_us`` is epoch µs, ``dur_us`` monotonic µs."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    pid: int
+    tid: int
+    ts_us: int
+    dur_us: int = 0
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": self.pid,
+            "tid": self.tid,
+            "ts_us": self.ts_us,
+            "dur_us": self.dur_us,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        unknown = set(data) - _SPAN_FIELDS
+        if unknown:
+            raise ObsError(f"unknown span field(s): {sorted(unknown)}")
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise ObsError(f"malformed span document: {exc}") from None
+
+
+class Tracer:
+    """Collects spans; thread-safe, with a per-thread open-span stack."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._next_id = 1
+        self._local = threading.local()
+
+    # -- recording --------------------------------------------------------
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span]:
+        """Open a nested span; closes (and records) it on exit."""
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        stack = self._stack()
+        parent_id = stack[-1] if stack else None
+        record = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=parent_id,
+            pid=os.getpid(),
+            tid=threading.get_native_id(),
+            ts_us=time.time_ns() // 1_000,
+            attrs={k: v for k, v in attrs.items() if v is not None},
+        )
+        stack.append(span_id)
+        t0 = time.perf_counter_ns()
+        try:
+            yield record
+        finally:
+            record.dur_us = max((time.perf_counter_ns() - t0) // 1_000, 1)
+            stack.pop()
+            with self._lock:
+                self._spans.append(record)
+
+    # -- access -----------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def drain(self) -> list[dict]:
+        """Pop all recorded spans as JSON-safe dicts (worker -> parent)."""
+        with self._lock:
+            drained = self._spans
+            self._spans = []
+        return [record.to_dict() for record in drained]
+
+    def merge(self, span_dicts: list[dict], root_id: Optional[int] = None):
+        """Append a drained buffer, remapping ids into this tracer.
+
+        ``root_id`` reparents the buffer's top-level spans (those whose
+        parent is ``None`` or missing from the buffer) under an existing
+        span of *this* tracer — e.g. the parent's per-scenario span. Id
+        remapping keeps merged traces deterministic: merging the same
+        buffers in the same order always yields the same span ids, no
+        matter what ids the workers assigned.
+        """
+        spans = [Span.from_dict(entry) for entry in span_dicts]
+        local_ids = {record.span_id for record in spans}
+        mapping: dict[int, int] = {}
+        with self._lock:
+            for record in spans:
+                mapping[record.span_id] = self._next_id
+                self._next_id += 1
+            for record in spans:
+                parent = record.parent_id
+                if parent in local_ids:
+                    parent = mapping[parent]
+                else:
+                    parent = root_id
+                self._spans.append(
+                    Span(
+                        name=record.name,
+                        span_id=mapping[record.span_id],
+                        parent_id=parent,
+                        pid=record.pid,
+                        tid=record.tid,
+                        ts_us=record.ts_us,
+                        dur_us=record.dur_us,
+                        attrs=dict(record.attrs),
+                    )
+                )
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": TRACE_VERSION,
+            "spans": [record.to_dict() for record in self.spans()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Tracer":
+        version = data.get("version")
+        if version != TRACE_VERSION:
+            raise ObsError(f"unsupported trace version: {version!r}")
+        tracer = cls()
+        spans = [Span.from_dict(entry) for entry in data.get("spans", [])]
+        with tracer._lock:
+            tracer._spans = spans
+            tracer._next_id = max(
+                (record.span_id for record in spans), default=0
+            ) + 1
+        return tracer
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Tracer":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ObsError(f"malformed trace JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    # -- Chrome trace-event export ----------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """``chrome://tracing`` / Perfetto trace-event document.
+
+        Every span becomes a complete ("X") event; each distinct pid gets
+        a process_name metadata ("M") event so worker processes are
+        labelled in the timeline.
+        """
+        spans = self.spans()
+        events = []
+        own_pid = os.getpid()
+        for pid in sorted({record.pid for record in spans}):
+            role = "repro" if pid == own_pid else f"repro worker {pid}"
+            events.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": role},
+            })
+        for record in spans:
+            args = dict(record.attrs)
+            args["span_id"] = record.span_id
+            if record.parent_id is not None:
+                args["parent_id"] = record.parent_id
+            events.append({
+                "name": record.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": record.ts_us,
+                "dur": record.dur_us,
+                "pid": record.pid,
+                "tid": record.tid,
+                "args": args,
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> int:
+        """Write the Chrome trace document to ``path``; returns span count."""
+        document = self.chrome_trace()
+        with open(path, "w") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return len([e for e in document["traceEvents"] if e["ph"] == "X"])
+
+
+# ---------------------------------------------------------------------------
+# Active-tracer plumbing
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[Tracer] = None
+
+_NULL_SPAN = nullcontext()
+"""Reusable no-op context: the whole cost of ``span()`` when tracing is off."""
+
+
+def activate(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-wide active tracer."""
+    global _ACTIVE
+    _ACTIVE = tracer
+    return tracer
+
+
+def deactivate() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def current_tracer() -> Optional[Tracer]:
+    return _ACTIVE
+
+
+def span(name: str, **attrs):
+    """Span on the active tracer, or a shared null context when inactive."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)

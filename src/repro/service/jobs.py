@@ -134,6 +134,13 @@ class JobStatus:
     ``stats`` carries the dedup proof once the job finishes:
     ``result_hit`` (the entire result document came from the store) and
     the runner's ``store`` hit/miss split for partially-cached grids.
+
+    ``heartbeat_at``/``phase`` are the liveness stream: the server
+    re-stamps ``heartbeat_at`` on every status write (including periodic
+    writes with no progress) and keeps ``phase`` at the current lifecycle
+    step — so a reader can tell a *stuck* job (stale heartbeat) from a
+    *slow* one (fresh heartbeat, ``done`` unchanged). Both default to
+    empty, so status documents written by older servers still parse.
     """
 
     id: str
@@ -148,6 +155,8 @@ class JobStatus:
     total: int = 0
     error: Optional[str] = None
     stats: dict = field(default_factory=dict)
+    heartbeat_at: Optional[float] = None
+    phase: str = ""
 
     @property
     def finished(self) -> bool:
@@ -170,6 +179,8 @@ class JobStatus:
             "total": self.total,
             "error": self.error,
             "stats": self.stats,
+            "heartbeat_at": self.heartbeat_at,
+            "phase": self.phase,
         }
 
     @classmethod

@@ -15,10 +15,20 @@ is cooperative: a marker file checked at claim time and inside the
 progress callback — so a running *scenario* aborts between cells, while
 audit/frontier jobs (whose engine exposes no callback) only honor
 cancellation observed before they start.
+
+While a job runs, all ``status.json`` writes flow through one
+:class:`_StatusStream`: it serializes the two concurrent writers (the
+progress callback and a periodic heartbeat thread), stamps
+``heartbeat_at`` on every write, and tracks the job's current ``phase``
+— so ``repro jobs status`` can tell a stuck job from a slow one. The
+server also feeds the process-global ``repro.obs`` metrics registry
+(queue depth, claim latency, per-state job counts, dedup hits), which
+``repro serve --metrics-port`` exposes over HTTP.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Optional
 
@@ -26,12 +36,65 @@ from repro.errors import ReproError, ServiceError
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.spec import ScenarioSpec
 from repro.games.registry import FILE_GAME_PREFIX
+from repro.obs.metrics import registry as obs_registry
+from repro.obs.tracing import span as obs_span
 from repro.service.jobs import JobSpec, JobStatus
 from repro.service.spool import Spool
 
 
 class JobCancelled(Exception):
     """Internal control flow: the job's cancel marker appeared mid-run."""
+
+
+class _StatusStream:
+    """All ``status.json`` writes for one running job, behind one lock.
+
+    Two writers exist while a job runs — the runner's progress callback
+    and the heartbeat thread — and the spool's atomic-rename tmp file is
+    keyed by pid alone, so unsynchronized writes from two threads of the
+    same process could collide. The stream owns the lock and the latest
+    status, stamps ``heartbeat_at`` on every write, and re-writes the
+    current status every ``interval_s`` even when no progress arrives.
+    """
+
+    def __init__(self, spool: Spool, status: JobStatus, interval_s: float):
+        self._spool = spool
+        self._lock = threading.Lock()
+        self._status = status
+        self._interval_s = max(interval_s, 0.05)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def status(self) -> JobStatus:
+        with self._lock:
+            return self._status
+
+    def write(self, **changes) -> None:
+        with self._lock:
+            self._status = self._status.replace(
+                heartbeat_at=time.time(), **changes
+            )
+            self._spool.write_status(self._status)
+
+    def set_phase(self, phase: str) -> None:
+        self.write(phase=phase)
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            self.write()
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._beat, name="repro-job-heartbeat", daemon=True
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
 
 
 class JobServer:
@@ -90,7 +153,11 @@ class JobServer:
         """
         served = 0
         idle_since = time.monotonic()
+        queue_depth = obs_registry().gauge(
+            "repro_service_queue_depth", "tickets waiting in the spool queue"
+        )
         while True:
+            queue_depth.set(len(self.spool.queued_tickets()))
             job_id = self.spool.claim_next()
             if job_id is None:
                 if idle_timeout_s is not None and (
@@ -118,41 +185,59 @@ class JobServer:
         """Execute one already-claimed job through its whole lifecycle."""
         spool = self.spool
         status = spool.read_status(job_id)
+        claimed_at = time.time()
+        obs_registry().histogram(
+            "repro_service_claim_seconds",
+            "queue wait: submission to claim",
+        ).observe(max(claimed_at - status.submitted_at, 0.0))
         if spool.cancel_requested(job_id):
             status = status.replace(
                 state="cancelled", finished_at=time.time()
             )
             spool.write_status(status)
             spool.append_log(job_id, "cancelled before start")
+            self._count_job(status)
             return status
         try:
             spec = spool.read_spec(job_id)
         except ServiceError as exc:
             return self._finish(status, "failed", error=str(exc))
-        status = status.replace(state="running", started_at=time.time())
-        spool.write_status(status)
+        status = status.replace(
+            state="running", started_at=claimed_at, phase="starting"
+        )
+        stream = _StatusStream(spool, status, self.status_interval_s)
+        stream.write()
         spool.append_log(
             job_id, f"started: {spec.kind} {spec.title!r}"
             + (f" — {spec.description}" if spec.description else "")
         )
         before = self.store.counters() if self.store is not None else None
+        stream.start()
         try:
-            text, total, stats = self._execute(job_id, spec, status)
+            with obs_span(
+                "job", job_id=job_id, kind=spec.kind, title=spec.title
+            ):
+                text, total, stats = self._execute(job_id, spec, stream)
         except JobCancelled:
             spool.append_log(job_id, "cancelled while running")
-            return self._finish(status, "cancelled")
+            return self._finish(stream.status, "cancelled", stream=stream)
         except ReproError as exc:
             spool.append_log(job_id, f"failed: {exc}")
-            return self._finish(status, "failed", error=str(exc))
+            return self._finish(
+                stream.status, "failed", error=str(exc), stream=stream
+            )
         except Exception as exc:  # noqa: BLE001 — a job must not kill the daemon
             message = f"{type(exc).__name__}: {exc}"
             spool.append_log(job_id, f"failed: {message}")
-            return self._finish(status, "failed", error=message)
+            return self._finish(
+                stream.status, "failed", error=message, stream=stream
+            )
         if before is not None:
             after = self.store.counters()
             stats["store"] = {
                 key: after[key] - before[key] for key in sorted(after)
             }
+        stream.set_phase("storing")
         spool.write_result_text(job_id, text)
         spool.append_log(
             job_id,
@@ -161,8 +246,14 @@ class JobServer:
                 f", store {stats['store']}" if "store" in stats else ""
             ),
         )
+        if stats.get("result_hit"):
+            obs_registry().counter(
+                "repro_service_result_hits_total",
+                "jobs answered entirely from the store",
+            ).inc()
         return self._finish(
-            status, "done", done=total, total=total, stats=stats
+            stream.status, "done", done=total, total=total, stats=stats,
+            stream=stream,
         )
 
     def _finish(
@@ -173,24 +264,38 @@ class JobServer:
         done: Optional[int] = None,
         total: Optional[int] = None,
         stats: Optional[dict] = None,
+        stream: Optional["_StatusStream"] = None,
     ) -> JobStatus:
+        if stream is not None:
+            stream.close()  # stop the heartbeat before the terminal write
+        now = time.time()
         status = status.replace(
             state=state,
-            finished_at=time.time(),
+            finished_at=now,
+            heartbeat_at=now,
+            phase="",
             error=error,
             done=done if done is not None else status.done,
             total=total if total is not None else status.total,
             stats=stats if stats is not None else status.stats,
         )
         self.spool.write_status(status)
+        self._count_job(status)
         return status
 
-    def _progress_callback(self, job_id: str, status: JobStatus):
+    @staticmethod
+    def _count_job(status: JobStatus) -> None:
+        obs_registry().counter(
+            "repro_service_jobs_total", "finished jobs by terminal state"
+        ).inc(state=status.state, kind=status.kind)
+
+    def _progress_callback(self, job_id: str, stream: "_StatusStream"):
         """Stream ``done/total`` into status.json; honor the cancel marker.
 
-        Status writes are throttled to ``status_interval_s`` (final
+        Progress writes are throttled to ``status_interval_s`` (final
         update always lands) so tiny fast cells don't turn the spool
-        into a write amplifier.
+        into a write amplifier; liveness between progress writes comes
+        from the stream's heartbeat thread, not from here.
         """
         spool = self.spool
         last_write = [0.0]
@@ -201,9 +306,7 @@ class JobServer:
             now = time.monotonic()
             if done >= total or now - last_write[0] >= self.status_interval_s:
                 last_write[0] = now
-                spool.write_status(
-                    status.replace(state="running", done=done, total=total)
-                )
+                stream.write(state="running", done=done, total=total)
 
         return progress
 
@@ -237,12 +340,13 @@ class JobServer:
     # -- kind dispatch -------------------------------------------------------
 
     def _execute(
-        self, job_id: str, job_spec: JobSpec, status: JobStatus
+        self, job_id: str, job_spec: JobSpec, stream: "_StatusStream"
     ) -> tuple[str, int, dict]:
         """Run the job's payload; returns (result text, units, stats)."""
-        progress = self._progress_callback(job_id, status)
+        progress = self._progress_callback(job_id, stream)
         if job_spec.kind == "scenario":
             spec = self._scenario_spec(job_spec)
+            stream.set_phase("running")
             if self.store is not None:
                 outcome = self.store.get_or_run(
                     spec, runner=self._runner, progress=progress
@@ -259,6 +363,7 @@ class JobServer:
         from repro.audit.frontier import run_audit, run_frontier
 
         spec = self._audit_spec(job_spec)
+        stream.set_phase("auditing")
         hits_before = self.store.result_hits if self.store is not None else 0
         if job_spec.kind == "audit":
             result = run_audit(spec, runner=self._runner, store=self.store)

@@ -39,6 +39,8 @@ from typing import Iterable, Optional, Union
 
 from repro.errors import StoreError
 from repro.experiments.results import ExperimentResult, RunRecord
+from repro.obs.metrics import registry as obs_registry
+from repro.obs.tracing import span as obs_span
 from repro.store.fingerprint import canonical_json, spec_fingerprint
 
 SCHEMA_VERSION = 1
@@ -196,6 +198,7 @@ class ResultStore:
         self, fingerprints: Iterable[str]
     ) -> dict[str, RunRecord]:
         """The stored records among ``fingerprints`` (bumps hit/miss)."""
+        t0 = time.perf_counter()
         wanted = list(dict.fromkeys(fingerprints))
         found: dict[str, RunRecord] = {}
         # SQLite caps bound parameters per statement; batch generously
@@ -212,6 +215,17 @@ class ResultStore:
                 found[fingerprint] = self._parse_record(fingerprint, text)
         self.hits += len(found)
         self.misses += len(wanted) - len(found)
+        metrics = obs_registry()
+        metrics.counter(
+            "repro_store_run_hits_total", "per-cell records found in the store"
+        ).inc(len(found))
+        metrics.counter(
+            "repro_store_run_misses_total",
+            "per-cell records missing from the store",
+        ).inc(len(wanted) - len(found))
+        metrics.histogram(
+            "repro_store_fetch_seconds", "store read latency"
+        ).observe(time.perf_counter() - t0)
         return found
 
     @staticmethod
@@ -231,6 +245,7 @@ class ResultStore:
         ``INSERT OR IGNORE``: a fingerprint already present keeps its
         original bytes — cells are immutable once written.
         """
+        t0 = time.perf_counter()
         now = time.time()
         rows = [
             (
@@ -258,7 +273,15 @@ class ResultStore:
             rows,
         )
         self._conn.commit()
-        return self._conn.total_changes - before
+        inserted = self._conn.total_changes - before
+        metrics = obs_registry()
+        metrics.counter(
+            "repro_store_run_writes_total", "per-cell records inserted"
+        ).inc(inserted)
+        metrics.histogram(
+            "repro_store_write_seconds", "store write latency"
+        ).observe(time.perf_counter() - t0)
+        return inserted
 
     def query_records(
         self,
@@ -308,10 +331,14 @@ class ResultStore:
 
     def fetch_result(self, fingerprint: str) -> Optional[str]:
         """The verbatim stored JSON for a result fingerprint, or ``None``."""
+        t0 = time.perf_counter()
         row = self._conn.execute(
             "SELECT payload FROM results WHERE fingerprint = ?",
             (fingerprint,),
         ).fetchone()
+        obs_registry().histogram(
+            "repro_store_fetch_seconds", "store read latency"
+        ).observe(time.perf_counter() - t0)
         return row[0] if row else None
 
     def put_result(
@@ -323,6 +350,7 @@ class ResultStore:
         records: int,
     ) -> bool:
         """Persist a result document; False when the key already existed."""
+        t0 = time.perf_counter()
         before = self._conn.total_changes
         self._conn.execute(
             "INSERT OR IGNORE INTO results "
@@ -331,7 +359,15 @@ class ResultStore:
             (fingerprint, kind, name, payload, records, time.time()),
         )
         self._conn.commit()
-        return self._conn.total_changes > before
+        inserted = self._conn.total_changes > before
+        metrics = obs_registry()
+        metrics.counter(
+            "repro_store_result_writes_total", "result documents inserted"
+        ).inc(1 if inserted else 0)
+        metrics.histogram(
+            "repro_store_write_seconds", "store write latency"
+        ).observe(time.perf_counter() - t0)
+        return inserted
 
     # -- get-or-run ----------------------------------------------------------
 
@@ -360,9 +396,15 @@ class ResultStore:
         else:
             spec = scenario
         fingerprint = spec_fingerprint(spec)
-        stored = self.fetch_result(fingerprint)
+        with obs_span("store-lookup", scenario=spec.name):
+            stored = self.fetch_result(fingerprint)
+        metrics = obs_registry()
         if stored is not None:
             self.result_hits += 1
+            metrics.counter(
+                "repro_store_result_hits_total",
+                "scenarios answered verbatim from the store",
+            ).inc(scenario=spec.name)
             if progress is not None:
                 total = max(spec.grid_size(), 1)
                 progress(total, total)
@@ -373,6 +415,10 @@ class ResultStore:
                 fingerprint=fingerprint,
             )
         self.result_misses += 1
+        metrics.counter(
+            "repro_store_result_misses_total",
+            "scenarios that had to be simulated",
+        ).inc(scenario=spec.name)
         if runner is not None:
             result = runner.run(spec, progress=progress, store=self)
         else:

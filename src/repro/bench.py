@@ -309,6 +309,39 @@ def _bench_obs_overhead(quick: bool) -> dict:
     )
 
 
+@register_bench("net-sweep")
+def _bench_net_sweep(quick: bool) -> dict:
+    """Substrate cost: the simulated kernel vs the in-memory asyncio net.
+
+    *Before* is the simulated-kernel leg, *after* the same grid over the
+    in-memory net substrate under seeded lognormal latency — so
+    ``speedup`` reads as the fraction of kernel throughput the asyncio
+    event loop leaves. The conformance assert doubles as invariant 9:
+    the two substrates produce record-equivalent payoffs and outcomes.
+    """
+    from repro.experiments import ExperimentRunner, get_scenario
+    from repro.net.conformance import conformance_diff
+
+    seeds = 2 if quick else 6
+    net_spec = get_scenario("netcheck-thm41").replace(
+        deviations=("honest",), seed_count=seeds
+    )
+    sim_spec = net_spec.replace(runtime="sim", latency="zero")
+    rounds = 2
+    sim = net = None
+    with ExperimentRunner() as runner:
+        sim = runner.run(sim_spec)  # warm the artifact caches first
+        before_s = _timed(lambda: runner.run(sim_spec), rounds)
+        net = runner.run(net_spec)
+        after_s = _timed(lambda: runner.run(net_spec), rounds)
+    diffs = conformance_diff(sim.records, net.records)
+    assert not diffs, f"net records diverged from the kernel: {diffs}"
+    return _row(
+        "net-sweep", len(net.records), after_s, before_s,
+        latency=net_spec.latency,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Suite driver
 # ---------------------------------------------------------------------------

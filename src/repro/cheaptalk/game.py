@@ -191,19 +191,39 @@ class CheapTalkGame:
         record_payloads: bool = False,
         timing: Optional[TimingModel] = None,
         record_trace: bool = True,
+        runtime: str = "sim",
+        latency: str = "zero",
     ) -> MediatorRun:
         types = tuple(types)
         setup = self.build_setup(seed)
-        runtime = Runtime(
-            self.processes(types, setup, deviations),
-            scheduler,
-            seed=seed,
-            step_limit=step_limit,
-            record_payloads=record_payloads,
-            timing=timing,
-            record_trace=record_trace,
-        )
-        result = runtime.run()
+        processes = self.processes(types, setup, deviations)
+        if runtime == "sim":
+            engine = Runtime(
+                processes,
+                scheduler,
+                seed=seed,
+                step_limit=step_limit,
+                record_payloads=record_payloads,
+                timing=timing,
+                record_trace=record_trace,
+            )
+        else:
+            # The asyncio substrate: same processes, same Network/Context
+            # bookkeeping, delivery order decided by the latency model
+            # (in-memory) or real localhost sockets ("net-tcp") instead
+            # of the scheduler.
+            from repro.net.runtime import NetRuntime
+
+            engine = NetRuntime(
+                processes,
+                latency=latency,
+                seed=seed,
+                step_limit=step_limit,
+                record_payloads=record_payloads,
+                record_trace=record_trace,
+                transport="tcp" if runtime == "net-tcp" else "memory",
+            )
+        result = engine.run()
         actions = self.resolve_actions(types, result)
         return MediatorRun(actions=actions, result=result, types=types)
 

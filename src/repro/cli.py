@@ -236,6 +236,22 @@ def _resolve_scenarios(args):
                 spec = spec.replace(game=args.game, games=())
             if getattr(args, "record_payloads", False):
                 spec = spec.replace(record_payloads=True)
+            runtime = getattr(args, "runtime", None)
+            latency = getattr(args, "latency", None)
+            if runtime or latency is not None:
+                # One combined replace: setting runtime and latency
+                # separately would trip the spec's cross-field validation
+                # mid-way (e.g. a latency model on a still-sim spec).
+                changes = {}
+                if runtime:
+                    changes["runtime"] = runtime
+                    if runtime == "sim" and latency is None:
+                        changes["latency"] = "zero"
+                if latency is not None:
+                    changes["latency"] = latency
+                spec = spec.replace(**changes)
+            if getattr(args, "seed", None) is not None:
+                spec = spec.replace(seed_start=args.seed)
         except ExperimentError as exc:
             sys.exit(str(exc))
         specs.append(spec)
@@ -1287,6 +1303,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--record-payloads", action="store_true",
                        help="capture full traces (with payloads) into the "
                             "run records")
+        p.add_argument("--runtime", default=None,
+                       choices=("sim", "net", "net-tcp"),
+                       help="override the execution substrate: the "
+                            "simulated kernel (sim), the deterministic "
+                            "in-memory asyncio substrate (net), or real "
+                            "localhost TCP sockets (net-tcp)")
+        p.add_argument("--latency", default=None, metavar="MODEL",
+                       help="latency model for net runtimes: zero, "
+                            "fixed-<d>, lognormal@m<median>s<sigma>, "
+                            "gst-<pre>-<post>@<t>")
+        p.add_argument("--seed", type=int, default=None,
+                       help="override the scenario's first seed "
+                            "(seed_start)")
         p.add_argument("--profile", action="store_true",
                        help="print the prepare/run/payoff timing breakdown "
                             "plus cache and pool statistics per scenario")

@@ -111,3 +111,24 @@ class ExperimentError(ReproError):
     schedulers, deviation profiles, malformed grids, and theorem/deviation
     combinations that do not make sense together.
     """
+
+
+class SpecError(ExperimentError):
+    """A scenario document does not parse into a :class:`ScenarioSpec`.
+
+    Raised by ``ScenarioSpec.from_dict`` for unknown top-level keys — the
+    message lists the accepted fields so stored PR-era documents that
+    predate (or postdate) a spec axis fail loudly instead of silently
+    dropping data. Subclasses :class:`ExperimentError` so existing callers
+    that catch spec problems keep working.
+    """
+
+
+class NetError(ReproError):
+    """Invalid real-network substrate operation (``repro.net``).
+
+    Unknown latency-model names, transport wiring failures, and a TCP
+    transport that stops making progress all surface here. Protocol-level
+    problems keep their existing types (:class:`SimulationError` etc.) so
+    a net run fails the same way a simulated run does.
+    """

@@ -65,6 +65,14 @@ class CellKey:
     deviation: str
     type_profile: Optional[tuple]
     file_stamp: Optional[tuple] = None
+    runtime: str = "sim"
+    latency: str = "zero"
+    """Execution substrate axes. Prepared artifacts are substrate-blind
+    (the same compiled protocol runs on either runtime), but the key
+    carries them so store-level cell identity — and anything else keyed
+    on a whole ``CellKey`` — never conflates a simulated cell with a net
+    cell; the sub-keys below deliberately omit them so the artifact
+    cache still shares compilations across substrates."""
 
     @classmethod
     def for_task(cls, spec, task) -> "CellKey":
@@ -80,6 +88,8 @@ class CellKey:
             deviation=task.deviation,
             type_profile=spec.type_profile,
             file_stamp=_file_stamp(game_name),
+            runtime=task.runtime,
+            latency=task.latency,
         )
 
     # Sub-keys let independent layers share entries: all deviations of one

@@ -311,6 +311,77 @@ register_scenario(ScenarioSpec(
                 "mediator (EGL comparison workload).",
 ))
 
+# -- netcheck family: the real-network substrate vs. the simulated kernel --
+
+register_scenario(ScenarioSpec(
+    name="thm41-equivalence",
+    game="consensus",
+    n=9,
+    theorem="4.1",
+    k=1,
+    t=1,
+    schedulers=("fifo",),
+    deviations=("honest",),
+    seed_count=1,
+    description="Netcheck reference cell: Thm 4.1 honest play, single "
+                "fifo/seed leg. Run it as-is for the simulated kernel, or "
+                "with --runtime net --latency ... for the asyncio "
+                "substrate; payoffs and outcome taxonomy must match "
+                "(invariant 9).",
+))
+
+register_scenario(ScenarioSpec(
+    name="netcheck-thm41",
+    game="consensus",
+    n=9,
+    theorem="4.1",
+    k=1,
+    t=1,
+    schedulers=("fifo",),
+    deviations=("honest", "crash+liar"),
+    seed_count=2,
+    runtime="net",
+    latency="lognormal@m5s2",
+    description="Thm 4.1 over the in-memory asyncio substrate under "
+                "seeded lognormal latency — deterministic, and "
+                "record-equivalent to the simulated kernel.",
+))
+
+register_scenario(ScenarioSpec(
+    name="netcheck-sec64",
+    game="section64",
+    n=7,
+    theorem="mediator",
+    k=2,
+    t=0,
+    mediator_variant="minimal-sec64",
+    schedulers=("fifo",),
+    deviations=("honest",),
+    seed_count=3,
+    runtime="net",
+    latency="gst-8-1@50",
+    description="Sec 6.4 minimally-informative mediator over the wire: "
+                "chaotic pre-GST latency settling to a fixed bound, same "
+                "payoffs as the kernel's colluding-free baseline.",
+))
+
+register_scenario(ScenarioSpec(
+    name="netcheck-tcp",
+    game="consensus",
+    n=5,
+    theorem="4.1",
+    k=1,
+    t=0,
+    schedulers=("fifo",),
+    deviations=("honest",),
+    seed_count=1,
+    runtime="net-tcp",
+    latency="fixed-2",
+    description="n=5 localhost TCP smoke: every protocol message crosses "
+                "a real socket; payoff/outcome parity with the simulated "
+                "kernel (timing fields relaxed).",
+))
+
 register_scenario(ScenarioSpec(
     name="raw-chicken-matrix",
     game="chicken",

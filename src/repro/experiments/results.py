@@ -36,6 +36,11 @@ class RunRecord:
     game: str = ""
     """The resolved game name this cell ran (a games-axis entry, a
     ``family@params`` instance, or the spec's single ``game``)."""
+    runtime: str = "sim"
+    latency: str = "zero"
+    """Which substrate produced this record (``sim``/``net``/``net-tcp``)
+    and, for net runtimes, under which latency model — defaults keep
+    pre-net stored documents parseable."""
     types: tuple = ()
     actions: tuple = ()
     payoffs: tuple = ()
@@ -219,6 +224,8 @@ class ExperimentResult:
         "scheduler",
         "deviation",
         "seed",
+        "runtime",
+        "latency",
         "ok",
         "agreed",
         "deadlocked",
@@ -256,6 +263,8 @@ class ExperimentResult:
                     r.scheduler,
                     r.deviation,
                     r.seed,
+                    r.runtime,
+                    r.latency,
                     int(r.ok),
                     int(r.agreed),
                     int(r.deadlocked),

@@ -75,6 +75,12 @@ class RunTask:
     game: str = ""
     """The game-axis entry this cell runs (empty: the spec's ``game``)."""
 
+    runtime: str = "sim"
+    latency: str = "zero"
+    """Which substrate executes the cell and, for net runtimes, under
+    which latency model — copied from the spec so pool workers and store
+    fingerprints see the axes without re-reading the spec."""
+
 
 def expand_grid(spec: ScenarioSpec) -> tuple[RunTask, ...]:
     """Expand a spec into its ordered run tasks (games axis outermost)."""
@@ -124,7 +130,9 @@ def expand_grid(spec: ScenarioSpec) -> tuple[RunTask, ...]:
                     for seed in spec.seeds:
                         tasks.append(
                             RunTask(scheduler, deviation, seed, index,
-                                    timing=timing, game=game)
+                                    timing=timing, game=game,
+                                    runtime=spec.runtime,
+                                    latency=spec.latency)
                         )
                         index += 1
     return tuple(tasks)
@@ -211,6 +219,8 @@ def _execute(
         scheduler=task.scheduler,
         deviation=task.deviation,
         seed=task.seed,
+        runtime=task.runtime,
+        latency=task.latency,
         types=types,
     )
 
@@ -284,6 +294,7 @@ def _execute(
             deviations=prepared.deviations or None,
             timing=timing, record_payloads=spec.record_payloads,
             record_trace=spec.record_payloads,
+            runtime=task.runtime, latency=task.latency,
             **run_kwargs,
         )
     t2 = time.perf_counter()
@@ -333,6 +344,7 @@ def execute_task(
             scheduler=task.scheduler,
             deviation=task.deviation,
             seed=task.seed,
+            runtime=task.runtime,
         ), _time_limit(limit):
             record = _execute(spec, task, cache=cache, phases=phases)
     except _RunTimeout:
@@ -344,6 +356,8 @@ def execute_task(
             scheduler=task.scheduler,
             deviation=task.deviation,
             seed=task.seed,
+            runtime=task.runtime,
+            latency=task.latency,
             error=f"timed out after {limit}s",
             timed_out=True,
         )
@@ -358,6 +372,8 @@ def execute_task(
             scheduler=task.scheduler,
             deviation=task.deviation,
             seed=task.seed,
+            runtime=task.runtime,
+            latency=task.latency,
             error=f"{type(exc).__name__}: {exc}",
         )
     duration = time.perf_counter() - start

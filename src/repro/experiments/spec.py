@@ -16,7 +16,8 @@ import json
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from repro.errors import ExperimentError, SimulationError
+from repro.errors import ExperimentError, NetError, SimulationError, SpecError
+from repro.net.latency import latency_from_name
 from repro.sim.timing import timing_from_name
 
 THEOREMS = ("4.1", "4.2", "4.4", "4.5", "r1", "mediator", "raw-game")
@@ -26,6 +27,15 @@ The four numbered entries are the paper's cheap-talk compilers; ``r1`` is
 the synchronous baseline; ``mediator`` runs the ideal mediator game itself;
 ``raw-game`` evaluates the underlying game matrix on explicit action
 profiles without any simulation.
+"""
+
+RUNTIMES = ("sim", "net", "net-tcp")
+"""Legal values of :attr:`ScenarioSpec.runtime`.
+
+``sim`` is the step-scheduled kernel (:mod:`repro.sim`); ``net`` runs the
+same processes over the deterministic in-memory asyncio substrate
+(:mod:`repro.net`) under the spec's ``latency`` model; ``net-tcp`` uses
+real localhost TCP sockets (wall-clock, not byte-deterministic).
 """
 
 MEDIATOR_VARIANTS = ("standard", "leaky-sec64", "minimal-sec64")
@@ -80,6 +90,18 @@ class ScenarioSpec:
     type_profile: Optional[tuple] = None
     action_profiles: tuple[tuple, ...] = ()
     mediator_variant: str = "standard"
+    runtime: str = "sim"
+    """Which substrate executes the grid: the step-scheduled kernel
+    (``sim``), the deterministic in-memory asyncio substrate (``net``),
+    or real localhost TCP sockets (``net-tcp``). See :data:`RUNTIMES`."""
+
+    latency: str = "zero"
+    """Latency model for net runtimes, by
+    :func:`repro.net.latency.latency_from_name` name (``zero``,
+    ``fixed-<d>``, ``lognormal@m<median>s<sigma>``,
+    ``gst-<pre>-<post>@<t>``). Must stay ``zero`` for ``runtime="sim"`` —
+    the kernel models delay through ``timings`` instead."""
+
     step_limit: Optional[int] = None
     timeout_s: Optional[float] = None
     record_payloads: bool = False
@@ -106,6 +128,32 @@ class ScenarioSpec:
                 f"unknown mediator variant {self.mediator_variant!r}; "
                 f"one of: {', '.join(MEDIATOR_VARIANTS)}"
             )
+        if self.runtime not in RUNTIMES:
+            raise ExperimentError(
+                f"unknown runtime {self.runtime!r}; one of: "
+                f"{', '.join(RUNTIMES)}"
+            )
+        try:
+            latency_from_name(self.latency)
+        except NetError as exc:
+            raise ExperimentError(str(exc)) from None
+        if self.runtime == "sim":
+            if self.latency != "zero":
+                raise ExperimentError(
+                    "latency models apply to net runtimes; the simulated "
+                    "kernel models delay through the timings axis"
+                )
+        else:
+            if self.theorem in ("r1", "raw-game"):
+                raise ExperimentError(
+                    f"theorem {self.theorem!r} has no asynchronous message "
+                    f"schedule; it only runs on the simulated kernel"
+                )
+            if self.timings != ("async",):
+                raise ExperimentError(
+                    "timing models belong to the simulated kernel; net "
+                    "runs take a latency model instead"
+                )
         if self.seed_count < 1:
             raise ExperimentError("seed_count must be >= 1")
         if not self.timings or not self.schedulers or not self.deviations:
@@ -178,8 +226,9 @@ class ScenarioSpec:
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(data) - known
         if unknown:
-            raise ExperimentError(
-                f"unknown ScenarioSpec fields: {', '.join(sorted(unknown))}"
+            raise SpecError(
+                f"unknown ScenarioSpec field(s): {', '.join(sorted(unknown))}"
+                f"; accepted fields: {', '.join(sorted(known))}"
             )
         return cls(**{key: _tuplize(value) for key, value in data.items()})
 

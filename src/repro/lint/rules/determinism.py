@@ -137,20 +137,22 @@ _ENTROPY_REASONS = frozenset({
 })
 
 #: Packages the rule scans where *clock* reads are legitimate (job
-#: timestamps, daemon polling, store mtimes, telemetry spans/latencies)
-#: but OS entropy stays banned (job ids and fingerprints must not depend
-#: on it, and neither may span ids or metric values).
-CLOCK_EXEMPT_PACKAGES = ("service", "store", "obs")
+#: timestamps, daemon polling, store mtimes, telemetry spans/latencies,
+#: event-loop deadlines and latency injection in the net substrate) but
+#: OS entropy stays banned (job ids, fingerprints, span ids and latency
+#: draws must not depend on it — net latency comes from seeded per-edge
+#: RngTree streams).
+CLOCK_EXEMPT_PACKAGES = ("service", "store", "obs", "net")
 
 
 @register_rule
 class WallClockRule(Rule):
     """No clock or OS-entropy reads in simulation-path packages.
 
-    The service/store/obs layers are scanned too, under a scoped
-    exemption: their clock reads are allowed (that is what a job queue or
-    a span tracer does), but OS-entropy reads are findings everywhere the
-    rule looks.
+    The service/store/obs/net layers are scanned too, under a scoped
+    exemption: their clock reads are allowed (that is what a job queue, a
+    span tracer, or an event-loop transport does), but OS-entropy reads
+    are findings everywhere the rule looks.
     """
 
     name = "wallclock"
@@ -159,8 +161,8 @@ class WallClockRule(Rule):
         "the simulation path make runs depend on when/where they execute; "
         "timing belongs to the TimingModel, randomness to seeded streams "
         "(elapsed-time profiling lives in the experiment layer, which this "
-        "rule does not cover; repro.service/repro.store/repro.obs may read "
-        "clocks but not OS entropy)"
+        "rule does not cover; repro.service/repro.store/repro.obs/"
+        "repro.net may read clocks but not OS entropy)"
     )
     packages = SIM_PACKAGES + CLOCK_EXEMPT_PACKAGES
 

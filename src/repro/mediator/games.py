@@ -100,19 +100,36 @@ class MediatorGame:
         record_payloads: bool = False,
         timing: Optional[TimingModel] = None,
         record_trace: bool = True,
+        runtime: str = "sim",
+        latency: str = "zero",
     ) -> MediatorRun:
         types = tuple(types)
-        runtime = Runtime(
-            self.processes(types, deviations),
-            scheduler,
-            seed=seed,
-            mediator_pid=self.mediator,
-            step_limit=step_limit,
-            record_payloads=record_payloads,
-            timing=timing,
-            record_trace=record_trace,
-        )
-        result = runtime.run()
+        processes = self.processes(types, deviations)
+        if runtime == "sim":
+            engine = Runtime(
+                processes,
+                scheduler,
+                seed=seed,
+                mediator_pid=self.mediator,
+                step_limit=step_limit,
+                record_payloads=record_payloads,
+                timing=timing,
+                record_trace=record_trace,
+            )
+        else:
+            from repro.net.runtime import NetRuntime
+
+            engine = NetRuntime(
+                processes,
+                latency=latency,
+                seed=seed,
+                mediator_pid=self.mediator,
+                step_limit=step_limit,
+                record_payloads=record_payloads,
+                record_trace=record_trace,
+                transport="tcp" if runtime == "net-tcp" else "memory",
+            )
+        result = engine.run()
         actions = self.resolve_actions(types, result)
         return MediatorRun(actions=actions, result=result, types=types)
 

@@ -1,0 +1,50 @@
+"""Real-network substrate: the cheap-talk protocols over asyncio.
+
+``repro.net`` is the second runtime next to the simulated kernel
+(``repro.sim``): the same :class:`~repro.sim.process.Process` objects run
+as per-node asyncio tasks wired through a :class:`~repro.net.router.Router`,
+with in-flight time decided by a pluggable
+:class:`~repro.net.latency.LatencyModel` instead of a step scheduler. Two
+transports sit behind the same interface: a deterministic in-memory
+virtual-clock transport (byte-reproducible from the seed) and real
+localhost TCP sockets. ``repro.net.conformance`` holds the oracle that
+keeps both record-equivalent to the kernel.
+
+Exports are lazy so importing the latency vocabulary (which
+``repro.experiments.spec`` validates against) never pulls in asyncio
+machinery.
+"""
+
+from __future__ import annotations
+
+_LAZY = {
+    "LatencyModel": ("repro.net.latency", "LatencyModel"),
+    "latency_from_name": ("repro.net.latency", "latency_from_name"),
+    "latency_names": ("repro.net.latency", "latency_names"),
+    "register_latency": ("repro.net.latency", "register_latency"),
+    "Router": ("repro.net.router", "Router"),
+    "MemoryTransport": ("repro.net.router", "MemoryTransport"),
+    "TcpTransport": ("repro.net.tcp", "TcpTransport"),
+    "NetRuntime": ("repro.net.runtime", "NetRuntime"),
+    "TRANSPORTS": ("repro.net.runtime", "TRANSPORTS"),
+    "CONFORMANCE_FIELDS": ("repro.net.conformance", "CONFORMANCE_FIELDS"),
+    "conformance_view": ("repro.net.conformance", "conformance_view"),
+    "conformance_diff": ("repro.net.conformance", "conformance_diff"),
+    "check_conformance": ("repro.net.conformance", "check_conformance"),
+}
+
+__all__ = sorted(_LAZY)
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(name) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return __all__

@@ -1,0 +1,99 @@
+"""Asyncio message router: per-process send/recv queue pairs.
+
+The wiring follows the HoneyBadgerMPC ``test_router`` idiom: every node
+owns an inbox queue, a central dispatcher decides which in-flight message
+arrives next, and the node tasks are plain consumers. Determinism for the
+in-memory transport comes from two properties:
+
+* the dispatcher pops deliveries from a virtual-clock heap keyed
+  ``(delivery_time, sequence)`` — ties broken by post order, which equals
+  network uid order — so the delivery schedule is a pure function of the
+  latency draws;
+* each delivery is a serialized handshake: the dispatcher enqueues the
+  message and *awaits* the node's done token before popping the next one,
+  so handler side effects (sends, outputs, halts) interleave in exactly
+  one order per seed even though every node genuinely runs as its own
+  asyncio task.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from heapq import heappop, heappush
+from typing import Optional
+
+
+class Router:
+    """Per-process inbox queues plus the serialized done-token channel."""
+
+    def __init__(self, pids) -> None:
+        self._inboxes = {pid: asyncio.Queue() for pid in sorted(pids)}
+        self._done: asyncio.Queue = asyncio.Queue()
+
+    def inbox(self, pid: int) -> asyncio.Queue:
+        return self._inboxes[pid]
+
+    async def dispatch(self, pid: int, item) -> None:
+        """Hand ``item`` to node ``pid`` and wait for its activation to end.
+
+        Re-raises whatever the node's handler raised, so protocol errors
+        propagate out of the run loop exactly like in the simulated kernel.
+        """
+        self._inboxes[pid].put_nowait(item)
+        error = await self._done.get()
+        if error is not None:
+            raise error
+
+    def finish(self, error: Optional[BaseException] = None) -> None:
+        """Node side: signal the current activation completed (or failed)."""
+        self._done.put_nowait(error)
+
+
+class MemoryTransport:
+    """Deterministic in-memory transport over a virtual latency clock.
+
+    ``post`` schedules a message at ``now + delay``; ``next_delivery``
+    pops the earliest entry, advances the virtual clock to it, and skips
+    uids the network has since dropped (halt discards). The heap's
+    ``(time, seq)`` key makes zero-latency runs replay global send order —
+    i.e. the fifo scheduler's schedule — byte for byte.
+    """
+
+    name = "memory"
+    deterministic = True
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = 0
+        self._now = 0.0
+        self._posted_at: dict[int, float] = {}
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    async def start(self, pids, network) -> None:
+        pass
+
+    async def stop(self) -> None:
+        pass
+
+    def post(self, msg, delay: float) -> None:
+        self._seq += 1
+        self._posted_at[msg.uid] = self._now
+        heappush(self._heap, (self._now + delay, self._seq, msg.uid))
+
+    async def next_delivery(self, network):
+        """``(uid, payload_override, observed_delay)`` or None at quiesce.
+
+        ``payload_override`` is a 0- or 1-tuple: empty means deliver the
+        network's canonical payload (always, for this transport).
+        """
+        while self._heap:
+            vtime, _seq, uid = heappop(self._heap)
+            posted = self._posted_at.pop(uid, vtime)
+            if network.get(uid) is None:
+                continue
+            self._now = vtime
+            return uid, (), vtime - posted
+        return None

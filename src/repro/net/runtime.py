@@ -1,0 +1,346 @@
+"""NetRuntime: the asyncio substrate that runs unchanged Process objects.
+
+This is the second runtime next to :class:`repro.sim.runtime.Runtime`. The
+protocol layer cannot tell them apart: the same :class:`Process` objects
+receive the same :class:`Context` capability object (imported from
+``repro.sim.process``), the same :class:`~repro.sim.network.Network` keeps
+uid/batch/counter bookkeeping, and the run ends in the same
+:class:`~repro.sim.runtime.RunResult` with the kernel's quiesce taxonomy.
+What changes is *who decides delivery order*: instead of a scheduler
+choosing among eligible uids step by step, every node is a live asyncio
+task and a :class:`~repro.net.latency.LatencyModel` decides how long each
+message spends in flight.
+
+Determinism contract (invariant 9): with the in-memory transport, a run is
+a pure function of ``(processes, latency, seed)`` — latency draws come
+from per-edge ``RngTree`` streams and delivery ties break on post order —
+so repeat runs are byte-identical and record equivalence against the
+simulated kernel is mechanically checkable. The zero-latency schedule *is*
+the fifo schedule: the full ``RunResult`` (trace included) matches the
+kernel's byte for byte. The TCP transport trades that determinism for real
+sockets; only payoffs and outcome taxonomy are comparable there.
+
+Telemetry (per-edge delivery latency, in-flight depth, delivered counts)
+goes through ``repro.obs`` strictly out-of-band per invariant 8: metrics
+are bumped after delivery bookkeeping exists and never feed back into the
+run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import ExitStack
+from typing import Any, Optional, Union
+
+from repro.errors import NetError, SimulationError, StepLimitExceeded
+from repro.net.latency import LatencyModel, latency_from_name
+from repro.net.router import MemoryTransport, Router
+from repro.obs.metrics import registry as obs_registry
+from repro.obs.tracing import span as obs_span
+from repro.sim.network import Network, START_SIGNAL
+from repro.sim.process import Context, Process
+from repro.sim.runtime import ENVIRONMENT_PID, RunResult
+from repro.sim.trace import Trace, TraceEvent
+from repro.utils.rng import RngTree
+
+TRANSPORTS = ("memory", "tcp")
+"""In-memory virtual-clock transport vs. localhost asyncio TCP sockets."""
+
+
+class NetRuntime:
+    """Run processes to completion as asyncio tasks under injected latency.
+
+    Mirrors the :class:`~repro.sim.runtime.Runtime` constructor where the
+    concepts coincide; ``scheduler``/``timing`` are replaced by
+    ``latency`` (a model instance or a ``latency_from_name`` string) and
+    ``transport`` (``"memory"`` or ``"tcp"``).
+    """
+
+    def __init__(
+        self,
+        processes: dict[int, Process],
+        latency: Union[LatencyModel, str, None] = None,
+        seed: int = 0,
+        step_limit: int = 2_000_000,
+        mediator_pid: Optional[int] = None,
+        record_payloads: bool = False,
+        raise_on_step_limit: bool = True,
+        rng_namespace: str = "proc",
+        record_trace: bool = True,
+        transport: str = "memory",
+        time_scale: float = 0.0005,
+        idle_timeout_s: float = 30.0,
+    ) -> None:
+        if not processes:
+            raise SimulationError("need at least one process")
+        if transport not in TRANSPORTS:
+            raise NetError(
+                f"unknown transport {transport!r}: choose from {TRANSPORTS}"
+            )
+        if latency is None:
+            latency = LatencyModel()
+        elif isinstance(latency, str):
+            latency = latency_from_name(latency)
+        self.processes = dict(processes)
+        self.latency = latency
+        self.seed = seed
+        self.step_limit = step_limit
+        self.mediator_pid = mediator_pid
+        self.raise_on_step_limit = raise_on_step_limit
+        self.rng_namespace = rng_namespace
+        self.transport_name = transport
+        self._time_scale = time_scale
+        self._idle_timeout_s = idle_timeout_s
+
+        self.network = Network()
+        self.trace = Trace(record_payloads=record_payloads)
+        self._trace_on = record_trace
+        self._contexts: dict[int, Context] = {}
+        self.outputs: dict[int, Any] = {}
+        self.halted: set[int] = set()
+        self.started: set[int] = set()
+        self._rng_tree = RngTree(seed)
+        self._rngs: dict[int, Any] = {}
+        self._step = 0
+        self._env_sent = 0
+        self._transport = None
+        self._router: Optional[Router] = None
+
+    # -- services used by Context (same capability surface as the kernel) --
+
+    def rng_for(self, pid: int):
+        if pid not in self._rngs:
+            self._rngs[pid] = self._rng_tree.child(self.rng_namespace, pid).rng
+        return self._rngs[pid]
+
+    def _context(self, pid: int, batch: int) -> Context:
+        ctx = self._contexts.get(pid)
+        if ctx is None:
+            ctx = Context(self, pid, self._step, batch)
+            self._contexts[pid] = ctx
+        else:
+            ctx.step = self._step
+            ctx._batch = batch
+        return ctx
+
+    def _send_from(
+        self, sender: int, recipient: int, payload: Any, batch: int
+    ) -> None:
+        if recipient not in self.processes:
+            raise SimulationError(f"send to unknown process {recipient}")
+        msg = self.network.send(sender, recipient, payload, self._step, batch)
+        if self._trace_on:
+            self.trace.add(
+                TraceEvent(
+                    step=self._step,
+                    kind="send",
+                    pid=sender,
+                    sender=sender,
+                    recipient=recipient,
+                    uid=msg.uid,
+                    payload=payload if self.trace.record_payloads else None,
+                )
+            )
+        if recipient in self.halted:
+            self.network.drop(msg.uid)
+            return
+        self._transport.post(
+            msg, self.latency.delay(sender, recipient, self._transport.now)
+        )
+
+    def _record_output(self, pid: int, action: Any) -> None:
+        if pid in self.outputs:
+            raise SimulationError(f"process {pid} attempted to output twice")
+        self.outputs[pid] = action
+        if self._trace_on:
+            self.trace.add(
+                TraceEvent(step=self._step, kind="output", pid=pid,
+                           payload=action)
+            )
+
+    def _record_halt(self, pid: int) -> None:
+        if pid in self.halted:
+            return
+        self.halted.add(pid)
+        if self._trace_on:
+            self.trace.add(TraceEvent(step=self._step, kind="halt", pid=pid))
+        self.network.discard_to({pid})
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Run to quiescence; synchronous facade over the event loop.
+
+        Must be called from outside any running event loop (it owns one
+        via ``asyncio.run``), which is how every experiment-layer caller
+        and pool worker invokes runtimes today.
+        """
+        with obs_span(
+            "net-run",
+            transport=self.transport_name,
+            latency=self.latency.name,
+            n=len(self.processes),
+        ):
+            return asyncio.run(self._run())
+
+    def _make_transport(self):
+        if self.transport_name == "tcp":
+            from repro.net.tcp import TcpTransport
+
+            return TcpTransport(
+                time_scale=self._time_scale,
+                idle_timeout_s=self._idle_timeout_s,
+            )
+        return MemoryTransport()
+
+    async def _run(self) -> RunResult:
+        self.latency.reset(self.seed)
+        self._transport = transport = self._make_transport()
+        self._router = router = Router(self.processes)
+        metrics = obs_registry()
+        all_pids = set(self.processes)
+        await transport.start(sorted(self.processes), self.network)
+        tasks: list[asyncio.Task] = []
+        try:
+            with ExitStack() as stack:
+                for pid in sorted(self.processes):
+                    task = asyncio.create_task(
+                        self._node_main(pid, router.inbox(pid)),
+                        name=f"net-node-{pid}",
+                    )
+                    stack.callback(task.cancel)
+                    tasks.append(task)
+                self._inject_start_signals()
+                while True:
+                    if self._step >= self.step_limit:
+                        if self.raise_on_step_limit:
+                            raise StepLimitExceeded(
+                                f"no quiescence after {self.step_limit} "
+                                f"steps (transport {transport.name})"
+                            )
+                        break
+                    if self.halted >= all_pids:
+                        break
+                    delivery = await transport.next_delivery(self.network)
+                    if delivery is None:
+                        break  # quiesced: nothing left in flight
+                    uid, override, observed_delay = delivery
+                    await self._deliver(
+                        uid, override, router, metrics, observed_delay
+                    )
+        finally:
+            await transport.stop()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+        live = set(self.processes) - self.halted
+        deadlocked = bool(live) and len(self.network) == 0
+        wills = {}
+        for pid in sorted(live):
+            if pid not in self.outputs and pid != self.mediator_pid:
+                wills[pid] = self.processes[pid].on_deadlock(pid)
+        return RunResult(
+            outputs=dict(self.outputs),
+            halted=set(self.halted),
+            live=live,
+            deadlocked=deadlocked,
+            wills=wills,
+            trace=self.trace,
+            steps=self._step,
+            messages_sent=self.network.total_sent,
+            messages_delivered=self.network.total_delivered,
+            messages_dropped=self.network.total_dropped,
+            env_messages=self._env_sent,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _inject_start_signals(self) -> None:
+        for pid in sorted(self.processes):
+            batch = self.network.new_batch()
+            msg = self.network.send(
+                ENVIRONMENT_PID, pid, START_SIGNAL, 0, batch
+            )
+            self._env_sent += 1
+            self._transport.post(
+                msg,
+                self.latency.delay(ENVIRONMENT_PID, pid, self._transport.now),
+            )
+
+    async def _deliver(
+        self,
+        uid: int,
+        override: tuple,
+        router: Router,
+        metrics,
+        observed_delay: float,
+    ) -> None:
+        msg = self.network.deliver(uid, self._step)
+        self._step += 1
+        if self._trace_on:
+            self.trace.add(
+                TraceEvent(
+                    step=self._step,
+                    kind="deliver",
+                    pid=msg.recipient,
+                    sender=msg.sender,
+                    recipient=msg.recipient,
+                    uid=msg.uid,
+                    payload=(
+                        msg.payload if self.trace.record_payloads else None
+                    ),
+                )
+            )
+        if msg.recipient not in self.halted:
+            payload = override[0] if override else msg.payload
+            await router.dispatch(msg.recipient, (msg, payload))
+        self._observe_delivery(metrics, msg, observed_delay)
+
+    async def _node_main(self, pid: int, inbox: asyncio.Queue) -> None:
+        """One per-node consumer task: activate the process per delivery."""
+        finish = self._router.finish
+        while True:
+            msg, payload = await inbox.get()
+            try:
+                self._activate(pid, msg, payload)
+            except Exception as exc:
+                finish(exc)
+            else:
+                finish(None)
+
+    def _activate(self, pid: int, msg, payload: Any) -> None:
+        """The kernel's post-delivery activation sequence, verbatim."""
+        process = self.processes[pid]
+        batch = self.network.new_batch()
+        ctx = self._context(pid, batch)
+        if pid not in self.started:
+            self.started.add(pid)
+            if self._trace_on:
+                self.trace.add(
+                    TraceEvent(step=self._step, kind="start", pid=pid)
+                )
+            process.on_start(ctx)
+        if payload == START_SIGNAL and msg.sender == ENVIRONMENT_PID:
+            return
+        if pid in self.halted:
+            return
+        process.on_message(ctx, msg.sender, payload)
+
+    def _observe_delivery(self, metrics, msg, observed_delay: float) -> None:
+        """Out-of-band telemetry (invariant 8): after the fact, no feedback."""
+        metrics.counter(
+            "repro_net_delivered_total",
+            "Messages delivered by the real-network substrate.",
+        ).inc(transport=self.transport_name)
+        metrics.histogram(
+            "repro_net_delivery_delay",
+            "Per-edge in-flight delay, in virtual latency units.",
+        ).observe(
+            observed_delay,
+            transport=self.transport_name,
+            edge=f"{msg.sender}->{msg.recipient}",
+        )
+        metrics.gauge(
+            "repro_net_in_flight",
+            "Messages currently in flight on the net substrate.",
+        ).set(float(len(self.network)), transport=self.transport_name)

@@ -1,0 +1,158 @@
+"""Real-socket transport: asyncio TCP on localhost behind the Router API.
+
+Every node runs a ``StreamServer`` on ``127.0.0.1`` (OS-assigned port) and
+every directed edge opens its own client connection, so each protocol
+message genuinely crosses a socket as a length-prefixed pickle frame.
+Latency is injected by delaying the write: a model delay of ``d`` virtual
+units sleeps ``d * time_scale`` wall seconds before the frame goes out.
+
+Arrival order is whatever the kernel's scheduler and loop produce — a real
+asynchronous adversary — so TCP runs are *not* byte-deterministic; the
+conformance contract for them is payoff/outcome equality only (see
+``repro.net.conformance``). The central :class:`~repro.sim.network.Network`
+bookkeeping is retained: quiescence is ``len(network) == 0``, and an
+``idle_timeout_s`` guard turns a wedged transport into a loud
+:class:`~repro.errors.NetError` instead of a hung run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import time
+from functools import partial
+
+from repro.errors import NetError
+
+
+class TcpTransport:
+    """Localhost TCP transport: one server per node, one conn per edge."""
+
+    name = "tcp"
+    deterministic = False
+
+    def __init__(
+        self, time_scale: float = 0.0005, idle_timeout_s: float = 30.0
+    ) -> None:
+        if time_scale <= 0:
+            raise NetError(f"time_scale must be > 0, got {time_scale}")
+        self._time_scale = time_scale
+        self._idle_timeout_s = idle_timeout_s
+        self._arrived: asyncio.Queue = asyncio.Queue()
+        self._servers: list = []
+        self._writers: dict[tuple[int, int], asyncio.StreamWriter] = {}
+        self._pending: set = set()
+        self._sent_at: dict[int, float] = {}
+        self._t0: float | None = None
+
+    @property
+    def now(self) -> float:
+        """Elapsed wall time since start, in virtual latency units."""
+        if self._t0 is None:
+            return 0.0
+        return (time.monotonic() - self._t0) / self._time_scale
+
+    async def start(self, pids, network) -> None:
+        self._t0 = time.monotonic()
+        ports: dict[int, int] = {}
+        for pid in sorted(pids):
+            server = await asyncio.start_server(
+                partial(self._serve_peer, pid), "127.0.0.1", 0
+            )
+            self._servers.append(server)
+            ports[pid] = server.sockets[0].getsockname()[1]
+        for sender in sorted(pids):
+            for recipient in sorted(pids):
+                _reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", ports[recipient]
+                )
+                self._writers[(sender, recipient)] = writer
+
+    async def _serve_peer(self, pid, reader, writer) -> None:
+        """Server side of one edge: frames in, arrival queue out."""
+        try:
+            while True:
+                header = await reader.readexactly(4)
+                frame = await reader.readexactly(int.from_bytes(header, "big"))
+                uid, _sender, _recipient, payload = pickle.loads(frame)
+                self._arrived.put_nowait((uid, payload))
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass
+
+    def post(self, msg, delay: float) -> None:
+        self._sent_at[msg.uid] = time.monotonic()
+        writer = self._writers.get((msg.sender, msg.recipient))
+        if writer is None:
+            # Environment-injected start signals have no socket peer (the
+            # environment is the dispatcher itself): loop back locally,
+            # still honouring the injected delay.
+            coro = self._arrive_later(
+                msg.uid, msg.payload, delay * self._time_scale
+            )
+        else:
+            frame = pickle.dumps(
+                (msg.uid, msg.sender, msg.recipient, msg.payload),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            coro = self._write_later(writer, frame, delay * self._time_scale)
+        task = asyncio.get_running_loop().create_task(coro)
+        self._pending.add(task)
+        task.add_done_callback(self._pending.discard)
+
+    async def _arrive_later(self, uid, payload, seconds: float) -> None:
+        if seconds > 0:
+            await asyncio.sleep(seconds)
+        self._arrived.put_nowait((uid, payload))
+
+    async def _write_later(self, writer, frame: bytes, seconds: float) -> None:
+        if seconds > 0:
+            await asyncio.sleep(seconds)
+        # One write call per frame: StreamWriter.write appends the whole
+        # bytes object to the transport buffer atomically, so concurrent
+        # delayed sends on the same edge never interleave mid-frame.
+        writer.write(len(frame).to_bytes(4, "big") + frame)
+        await writer.drain()
+
+    async def next_delivery(self, network):
+        """``(uid, (wire_payload,), observed_delay)`` or None at quiesce.
+
+        The payload that actually crossed the socket is handed back as the
+        delivery override, so the protocol runs on wire bytes, not on the
+        local object the sender kept.
+        """
+        while len(network):
+            try:
+                uid, payload = await asyncio.wait_for(
+                    self._arrived.get(), self._idle_timeout_s
+                )
+            except asyncio.TimeoutError:
+                raise NetError(
+                    f"tcp transport made no progress for "
+                    f"{self._idle_timeout_s}s with {len(network)} messages "
+                    f"in transit"
+                ) from None
+            sent = self._sent_at.pop(uid, None)
+            if network.get(uid) is None:
+                continue  # dropped (recipient halted) while in flight
+            observed = (
+                0.0
+                if sent is None
+                else (time.monotonic() - sent) / self._time_scale
+            )
+            return uid, (payload,), observed
+        return None
+
+    async def stop(self) -> None:
+        for task in list(self._pending):
+            task.cancel()
+        if self._pending:
+            await asyncio.gather(*self._pending, return_exceptions=True)
+        for writer in self._writers.values():
+            writer.close()
+        for server in self._servers:
+            server.close()
+        if self._servers:
+            await asyncio.gather(
+                *(server.wait_closed() for server in self._servers),
+                return_exceptions=True,
+            )

@@ -34,10 +34,13 @@ from typing import Optional
 
 from repro.games.registry import FILE_GAME_PREFIX
 
-FINGERPRINT_VERSION = 1
+FINGERPRINT_VERSION = 2
 """Bump when the fingerprint layout changes: old store rows simply stop
 matching (and stay readable through the query API) instead of being
-served against a key that no longer means the same thing."""
+served against a key that no longer means the same thing.
+
+Version history: 2 added the ``runtime``/``latency`` axes so net-substrate
+cells never dedup against simulated-kernel cells."""
 
 
 def canonical_json(data) -> str:
@@ -99,6 +102,8 @@ def run_fingerprint(spec, task) -> str:
         "deviation": task.deviation,
         "scheduler": task.scheduler,
         "timing": task.timing,
+        "runtime": task.runtime,
+        "latency": task.latency,
         "seed": task.seed,
         "type_profile": (
             list(spec.type_profile) if spec.type_profile is not None else None

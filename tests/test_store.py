@@ -156,6 +156,39 @@ class TestFingerprints:
         )
         assert spec_fingerprint(base) != spec_fingerprint(small(CHEAP))
 
+    def test_run_fingerprints_are_sensitive_to_runtime_and_latency(self):
+        """--store dedup must never conflate sim and net cells (inv. 9)."""
+        spec = small(OTHER)
+        task = expand_grid(spec)[0]
+        sim_fp = run_fingerprint(spec, task)
+        net_spec = spec.replace(runtime="net", latency="lognormal@m5s2")
+        net_task = expand_grid(net_spec)[0]
+        net_fp = run_fingerprint(net_spec, net_task)
+        assert sim_fp != net_fp
+        other_latency = net_spec.replace(latency="fixed-3")
+        assert run_fingerprint(
+            other_latency, expand_grid(other_latency)[0]
+        ) not in (sim_fp, net_fp)
+        tcp_spec = net_spec.replace(runtime="net-tcp")
+        assert run_fingerprint(
+            tcp_spec, expand_grid(tcp_spec)[0]
+        ) not in (sim_fp, net_fp)
+
+    def test_cell_keys_are_sensitive_to_runtime_and_latency(self):
+        from repro.experiments.cache import CellKey
+
+        spec = small(OTHER)
+        task = expand_grid(spec)[0]
+        net_spec = spec.replace(runtime="net", latency="fixed-2")
+        net_task = expand_grid(net_spec)[0]
+        sim_key = CellKey.for_task(spec, task)
+        net_key = CellKey.for_task(net_spec, net_task)
+        assert sim_key != net_key
+        # But prepared artifacts are substrate-blind: the cache sub-keys
+        # share compilations across runtimes.
+        assert sim_key.protocol_key() == net_key.protocol_key()
+        assert sim_key.game_key() == net_key.game_key()
+
     def test_audit_fingerprint_separates_kinds(self):
         from repro.audit.registry import AuditSpec
 

@@ -1,0 +1,58 @@
+"""E13 — Fault injection: masking verdicts and the injector's overhead.
+
+Claims regenerated:
+* the masking oracle's verdicts on the faultcheck scenarios — every
+  within-budget crash plan is masked (honest records untouched), and the
+  tightness plans (t+1 crashes, the Sec 6.4 mediator kill) all break;
+* chaos is deterministic: the faulted grid repeats byte-identically;
+* measured rows: wall-clock of the fault-free leg vs an active
+  drop+dup plan vs a crash-restart plan on the same Thm 4.1 grid.
+"""
+
+import time
+
+from conftest import report
+
+from repro.experiments import ExperimentRunner, get_scenario
+from repro.faults.masking import run_faultcheck
+
+
+def run_leg(runner, spec):
+    t0 = time.perf_counter()
+    result = runner.run(spec)
+    return result, time.perf_counter() - t0
+
+
+def test_fault_injection_overhead(benchmark):
+    base_spec = get_scenario("faultcheck-thm41").replace(
+        seed_count=2, faults=("none",)
+    )
+    chatter_spec = base_spec.replace(faults=("drop-0.1+dup-0.05",))
+    restart_spec = base_spec.replace(faults=("crash-restart@p2s6r40",))
+
+    rows = []
+    with ExperimentRunner() as runner:
+        runner.run(base_spec)  # warm the artifact caches
+        base, base_s = run_leg(runner, base_spec)
+        chatter, chatter_s = run_leg(runner, chatter_spec)
+        repeat, _ = run_leg(runner, chatter_spec)
+        restart, restart_s = run_leg(runner, restart_spec)
+
+        assert chatter.records == repeat.records, "chaos repeats diverged"
+        assert all(r.ok for r in base.records)
+        assert all(r.ok for r in restart.records)
+
+        results = run_faultcheck(runner=runner)
+        for result in results:
+            assert result.ok, [r.describe() for r in result.reports]
+        verdicts = sum(len(r.reports) for r in results)
+
+        rows.append(f"fault-free leg    n=9: {base_s * 1000:7.1f} ms")
+        rows.append(f"drop-0.1+dup-0.05 n=9: {chatter_s * 1000:7.1f} ms")
+        rows.append(f"crash-restart     n=9: {restart_s * 1000:7.1f} ms")
+        rows.append(
+            f"masking oracle: {verdicts} plan verdicts behaved as claimed"
+        )
+        report("E13 fault injection (overhead + masking oracle)", rows)
+
+        benchmark(lambda: runner.run(chatter_spec))

@@ -342,6 +342,39 @@ def _bench_net_sweep(quick: bool) -> dict:
     )
 
 
+@register_bench("faults-overhead")
+def _bench_faults_overhead(quick: bool) -> dict:
+    """Fault-injection cost: the fault-free fast path vs an active plan.
+
+    *Before* is the fault-free leg (``faults="none"`` normalizes to no
+    injector at all — the hook-free fast path), *after* the same grid
+    under ``drop-0.1+dup-0.05``, so ``speedup`` reads as the fraction of
+    fault-free throughput that per-send fate draws leave. Both legs are
+    run twice and asserted byte-identical first: chaos stays a pure
+    function of ``(spec, seed)``.
+    """
+    from repro.experiments import ExperimentRunner, get_scenario
+
+    seeds = 2 if quick else 8
+    plan = "drop-0.1+dup-0.05"
+    base_spec = get_scenario("faultcheck-thm41").replace(
+        seed_count=seeds, faults=("none",)
+    )
+    fault_spec = base_spec.replace(faults=(plan,))
+    rounds = 3
+    with ExperimentRunner() as runner:
+        base = runner.run(base_spec)  # warm the artifact caches
+        assert base.records == runner.run(base_spec).records
+        faulted = runner.run(fault_spec)
+        assert faulted.records == runner.run(fault_spec).records
+        before_s = _timed(lambda: runner.run(base_spec), rounds)
+        after_s = _timed(lambda: runner.run(fault_spec), rounds)
+    return _row(
+        "faults-overhead", len(faulted.records), after_s, before_s,
+        plan=plan,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Suite driver
 # ---------------------------------------------------------------------------

@@ -193,6 +193,7 @@ class CheapTalkGame:
         record_trace: bool = True,
         runtime: str = "sim",
         latency: str = "zero",
+        faults: Any = None,
     ) -> MediatorRun:
         types = tuple(types)
         setup = self.build_setup(seed)
@@ -206,6 +207,7 @@ class CheapTalkGame:
                 record_payloads=record_payloads,
                 timing=timing,
                 record_trace=record_trace,
+                faults=faults,
             )
         else:
             # The asyncio substrate: same processes, same Network/Context
@@ -222,6 +224,7 @@ class CheapTalkGame:
                 record_payloads=record_payloads,
                 record_trace=record_trace,
                 transport="tcp" if runtime == "net-tcp" else "memory",
+                faults=faults,
             )
         result = engine.run()
         actions = self.resolve_actions(types, result)

@@ -250,6 +250,10 @@ def _resolve_scenarios(args):
                 if latency is not None:
                     changes["latency"] = latency
                 spec = spec.replace(**changes)
+            if getattr(args, "faults", None):
+                spec = spec.replace(
+                    faults=tuple(args.faults.split(","))
+                )
             if getattr(args, "seed", None) is not None:
                 spec = spec.replace(seed_start=args.seed)
         except ExperimentError as exc:
@@ -756,6 +760,66 @@ def cmd_lint(args) -> None:
         raise SystemExit(report.exit_code)
 
 
+def cmd_faults_list(args) -> None:
+    from repro.faults.masking import BREAKING_PLANS, crash_budget
+    from repro.faults.plan import _KNOWN_FORMS, fault_names
+    from repro.experiments.registry import get_scenario
+
+    if args.json:
+        print(json.dumps({
+            "registered": fault_names(),
+            "forms": list(_KNOWN_FORMS),
+            "faultcheck": {
+                name: {
+                    "budget": crash_budget(get_scenario(name)),
+                    "masking": [
+                        p for p in get_scenario(name).faults if p != "none"
+                    ],
+                    "breaking": list(plans),
+                }
+                for name, plans in sorted(BREAKING_PLANS.items())
+            },
+        }, indent=2, sort_keys=True))
+        return
+    print("registered plans:", ", ".join(fault_names()))
+    print("parameterized forms:")
+    for form in _KNOWN_FORMS:
+        print(f"  {form}")
+    print()
+    print("faultcheck scenarios (repro faults check):")
+    for name, plans in sorted(BREAKING_PLANS.items()):
+        spec = get_scenario(name)
+        masking = [p for p in spec.faults if p != "none"]
+        print(f"  {name} (crash budget {crash_budget(spec)})")
+        print(f"    must mask:  {', '.join(masking)}")
+        print(f"    must break: {', '.join(plans)}")
+
+
+def cmd_faults_check(args) -> None:
+    from repro.errors import ReproError
+    from repro.faults.masking import run_faultcheck
+
+    names = args.scenarios or None
+    try:
+        results = run_faultcheck(names)
+    except ReproError as exc:
+        sys.exit(str(exc))
+    failed = 0
+    for result in results:
+        for report in result.reports:
+            print(report.describe())
+            if not report.ok:
+                failed += 1
+                for mismatch in report.mismatches[:5]:
+                    print(f"    {mismatch.describe()}")
+    total = sum(len(result.reports) for result in results)
+    verdict = "ok" if failed == 0 else "FAILED"
+    print(f"masking oracle: {total - failed}/{total} plans behaved "
+          f"as claimed [{verdict}]")
+    if failed:
+        raise SystemExit(1)
+
+
 def cmd_bench(args) -> None:
     from repro.bench import (
         bench_names,
@@ -869,6 +933,8 @@ def _print_job_status(status, as_json: bool) -> None:
         f"{status.id}  {status.kind:8} {status.title:24} "
         f"{status.state:9} {progress}"
     )
+    if status.attempts > 1 or status.max_attempts > 1:
+        line += f"  attempt {status.attempts}/{status.max_attempts}"
     if status.error:
         line += f"  {status.error}"
     print(line)
@@ -926,6 +992,7 @@ def cmd_serve(args) -> None:
             processes=args.processes,
             timeout_s=args.timeout,
             poll_s=args.poll,
+            orphan_after_s=args.orphan_after,
         ) as server:
             served = server.serve_forever(
                 max_jobs=args.max_jobs, idle_timeout_s=args.idle_timeout
@@ -977,6 +1044,7 @@ def cmd_jobs_submit(args) -> None:
             ts=ts,
             priority=args.priority,
             description=args.description,
+            max_attempts=args.max_attempts,
         ).validate()
         status = client.submit(job)
         if args.wait:
@@ -1111,6 +1179,7 @@ def cmd_jobs_stats(args) -> None:
         "result_hits": sum(
             1 for s in statuses if s.stats.get("result_hit")
         ),
+        "retries": sum(max(s.attempts - 1, 0) for s in statuses),
         "running": running,
     }
     if args.json:
@@ -1123,7 +1192,8 @@ def cmd_jobs_stats(args) -> None:
     print(
         f"queue depth {summary['queue_depth']}, "
         f"{summary['cells_done']} cell(s) done, "
-        f"{summary['result_hits']} full store hit(s)"
+        f"{summary['result_hits']} full store hit(s), "
+        f"{summary['retries']} retried attempt(s)"
     )
     for job in running:
         age = (
@@ -1313,6 +1383,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="latency model for net runtimes: zero, "
                             "fixed-<d>, lognormal@m<median>s<sigma>, "
                             "gst-<pre>-<post>@<t>")
+        p.add_argument("--faults", default=None, metavar="PLANS",
+                       help="override the scenario's fault axis with a "
+                            "comma-separated list of fault-plan names "
+                            "(none, crash@p<pid>s<step>, drop-<p>, "
+                            "dup-<p>, partition@{<pids>}t<s>h<h>, "
+                            "crash-restart@p<pid>s<s>r<r>, "
+                            "corrupt-tcp-<p>, +-joined compounds); "
+                            "see `repro faults list`")
         p.add_argument("--seed", type=int, default=None,
                        help="override the scenario's first seed "
                             "(seed_start)")
@@ -1519,6 +1597,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="include suppressed findings in text output")
     p_lint.set_defaults(func=cmd_lint)
 
+    p_faults = sub.add_parser(
+        "faults",
+        help="fault-injection plans and the masking oracle",
+    )
+    p_faults.set_defaults(func=cmd_faults_list, json=False)
+    faults_sub = p_faults.add_subparsers(dest="faults_command")
+
+    p_faults_list = faults_sub.add_parser(
+        "list",
+        help="registered fault plans, name grammar, and oracle scenarios",
+    )
+    p_faults_list.add_argument("--json", action="store_true",
+                               help="emit the listing as JSON")
+    p_faults_list.set_defaults(func=cmd_faults_list)
+
+    p_faults_check = faults_sub.add_parser(
+        "check",
+        help="run the masking oracle: within-budget plans must leave "
+             "honest records identical, over-budget plans must break",
+    )
+    p_faults_check.add_argument(
+        "scenarios", nargs="*", metavar="scenario",
+        help="faultcheck scenarios to run (default: all registered)")
+    p_faults_check.set_defaults(func=cmd_faults_check)
+
     p_demo = sub.add_parser("demo", help="mediator vs cheap talk")
     common(p_demo)
     p_demo.set_defaults(func=cmd_demo)
@@ -1565,6 +1668,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="exit after S seconds with an empty queue")
     p_serve.add_argument("--poll", type=float, default=0.2, metavar="S",
                          help="queue poll interval in seconds")
+    p_serve.add_argument("--orphan-after", type=float, default=10.0,
+                         metavar="S",
+                         help="startup scan: requeue claimed jobs whose "
+                              "heartbeat is at least S seconds stale "
+                              "(a dead server's orphans; default 10)")
     p_serve.add_argument("--metrics-port", type=int, default=None,
                          metavar="PORT",
                          help="serve the live telemetry registry over HTTP "
@@ -1600,6 +1708,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_jobs_submit.add_argument("--priority", type=int, default=10,
                                help="0..99; higher runs sooner (default 10)")
     p_jobs_submit.add_argument("--description", default="")
+    p_jobs_submit.add_argument("--max-attempts", type=int, default=3,
+                               metavar="N",
+                               help="execution budget: failed or orphaned "
+                                    "attempts are requeued with seeded "
+                                    "backoff until N is spent (default 3)")
     p_jobs_submit.add_argument("--k-max", type=int, default=None,
                                help="frontier jobs: sweep k from 1 to K")
     p_jobs_submit.add_argument("--t-max", type=int, default=None,

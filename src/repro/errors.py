@@ -132,3 +132,13 @@ class NetError(ReproError):
     problems keep their existing types (:class:`SimulationError` etc.) so
     a net run fails the same way a simulated run does.
     """
+
+
+class FaultError(ReproError):
+    """Invalid fault-injection operation (``repro.faults``).
+
+    Unknown fault-plan names, malformed plan parameters (a crash step that
+    never arrives, a partition that heals before it starts), and plans that
+    target pids a scenario does not have all surface here. Failures *caused
+    by* an injected fault are not errors at all — they are the experiment.
+    """

@@ -74,6 +74,11 @@ class CellKey:
     cell; the sub-keys below deliberately omit them so the artifact
     cache still shares compilations across substrates."""
 
+    faults: str = "none"
+    """The injected fault plan: a run axis like ``runtime``/``latency``
+    above — carried for whole-key cell identity, omitted from the
+    sub-keys because prepared artifacts are fault-blind."""
+
     @classmethod
     def for_task(cls, spec, task) -> "CellKey":
         game_name = task.game or spec.game
@@ -90,6 +95,7 @@ class CellKey:
             file_stamp=_file_stamp(game_name),
             runtime=task.runtime,
             latency=task.latency,
+            faults=task.faults,
         )
 
     # Sub-keys let independent layers share entries: all deviations of one

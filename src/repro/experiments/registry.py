@@ -382,6 +382,62 @@ register_scenario(ScenarioSpec(
                 "kernel (timing fields relaxed).",
 ))
 
+# -- faultcheck family: the masking oracle's grids (repro faults check) --
+#
+# Every plan on these faults axes is *within budget* and must leave the
+# honest players' records byte-identical to the fault-free leg; the
+# over-budget plans expected to break live in
+# repro.faults.masking.BREAKING_PLANS.
+
+register_scenario(ScenarioSpec(
+    name="faultcheck-thm41",
+    game="consensus",
+    n=9,
+    theorem="4.1",
+    k=1,
+    t=1,
+    schedulers=("fifo",),
+    deviations=("honest",),
+    seed_count=2,
+    faults=(
+        "none",
+        "crash@p0s5",
+        "crash@p0s5+crash@p8s9",
+        "crash-restart@p2s6r40",
+        "drop-0.05",
+        "dup-0.1",
+        "partition@{0,1}t10h60",
+    ),
+    description="Masking oracle, Thm 4.1 (n > 4k+4t): up to k+t crashes, "
+                "a crash-restart, 5% loss, duplication, and a healed "
+                "partition all leave honest records identical to the "
+                "fault-free leg; k+t+1 crashes must break "
+                "(`repro faults check`).",
+))
+
+register_scenario(ScenarioSpec(
+    name="faultcheck-sec64",
+    game="section64",
+    n=7,
+    theorem="mediator",
+    k=2,
+    t=0,
+    mediator_variant="minimal-sec64",
+    schedulers=("fifo",),
+    deviations=("honest",),
+    seed_count=2,
+    faults=(
+        "none",
+        "crash@p0s5",
+        "crash@p0s5+crash@p1s5",
+    ),
+    description="Masking oracle, Sec 6.4 mediator: up to k player crashes "
+                "mask (the payoff table is flat in ≤k ⊥s), but crashing "
+                "the mediator itself, a k+1-th crash, or mere 5% message "
+                "loss breaks it — the single point of failure cheap talk "
+                "removes (`repro faults check`).",
+))
+
 register_scenario(ScenarioSpec(
     name="raw-chicken-matrix",
     game="chicken",

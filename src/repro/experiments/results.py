@@ -41,6 +41,9 @@ class RunRecord:
     """Which substrate produced this record (``sim``/``net``/``net-tcp``)
     and, for net runtimes, under which latency model — defaults keep
     pre-net stored documents parseable."""
+    faults: str = "none"
+    """The fault plan injected into this cell (``"none"`` fault-free) —
+    the default keeps pre-faults stored documents parseable."""
     types: tuple = ()
     actions: tuple = ()
     payoffs: tuple = ()
@@ -226,6 +229,7 @@ class ExperimentResult:
         "seed",
         "runtime",
         "latency",
+        "faults",
         "ok",
         "agreed",
         "deadlocked",
@@ -265,6 +269,7 @@ class ExperimentResult:
                     r.seed,
                     r.runtime,
                     r.latency,
+                    r.faults,
                     int(r.ok),
                     int(r.agreed),
                     int(r.deadlocked),

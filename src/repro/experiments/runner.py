@@ -81,6 +81,10 @@ class RunTask:
     which latency model — copied from the spec so pool workers and store
     fingerprints see the axes without re-reading the spec."""
 
+    faults: str = "none"
+    """The fault plan injected into this cell, by
+    :func:`repro.faults.plan.fault_from_name` name (``"none"`` fault-free)."""
+
 
 def expand_grid(spec: ScenarioSpec) -> tuple[RunTask, ...]:
     """Expand a spec into its ordered run tasks (games axis outermost)."""
@@ -127,14 +131,16 @@ def expand_grid(spec: ScenarioSpec) -> tuple[RunTask, ...]:
         for timing in spec.timings:
             for scheduler in spec.schedulers:
                 for deviation in spec.deviations:
-                    for seed in spec.seeds:
-                        tasks.append(
-                            RunTask(scheduler, deviation, seed, index,
-                                    timing=timing, game=game,
-                                    runtime=spec.runtime,
-                                    latency=spec.latency)
-                        )
-                        index += 1
+                    for faults in spec.faults:
+                        for seed in spec.seeds:
+                            tasks.append(
+                                RunTask(scheduler, deviation, seed, index,
+                                        timing=timing, game=game,
+                                        runtime=spec.runtime,
+                                        latency=spec.latency,
+                                        faults=faults)
+                            )
+                            index += 1
     return tuple(tasks)
 
 
@@ -221,6 +227,7 @@ def _execute(
         seed=task.seed,
         runtime=task.runtime,
         latency=task.latency,
+        faults=task.faults,
         types=types,
     )
 
@@ -295,6 +302,7 @@ def _execute(
             timing=timing, record_payloads=spec.record_payloads,
             record_trace=spec.record_payloads,
             runtime=task.runtime, latency=task.latency,
+            faults=task.faults,
             **run_kwargs,
         )
     t2 = time.perf_counter()
@@ -358,6 +366,7 @@ def execute_task(
             seed=task.seed,
             runtime=task.runtime,
             latency=task.latency,
+            faults=task.faults,
             error=f"timed out after {limit}s",
             timed_out=True,
         )
@@ -374,6 +383,7 @@ def execute_task(
             seed=task.seed,
             runtime=task.runtime,
             latency=task.latency,
+            faults=task.faults,
             error=f"{type(exc).__name__}: {exc}",
         )
     duration = time.perf_counter() - start
@@ -472,8 +482,10 @@ class ExperimentRunner:
         self.store = store
         """Optional :class:`repro.store.ResultStore`: cells already in the
         store are answered from it instead of being simulated, and fresh
-        ``ok`` records are written back after every ``run()``. The store
-        stays in this process — workers never see it."""
+        ``ok`` records are written back *as each cell completes* — so a
+        process killed mid-grid keeps every finished cell, and the retry
+        only simulates the remainder. The store stays in this process —
+        workers never see it."""
         self._cache = ArtifactCache(maxsize=cache_size)
         self._pool = None
         self._pool_size = 0
@@ -538,8 +550,9 @@ class ExperimentRunner:
         already holds are answered from it — reported to ``progress``
         immediately, placed at their grid index, never simulated — and
         only the missing subset is executed. Fresh ``ok`` records are
-        written back afterwards, and ``stats["store"]`` reports the
-        hit/miss split. Hit or miss, the assembled records are identical
+        written back as each cell completes (a killed process keeps its
+        finished cells), and ``stats["store"]`` reports the hit/miss
+        split. Hit or miss, the assembled records are identical
         to a storeless run of the same spec (wall-clock fields aside).
 
         Telemetry: each ``run()`` opens a ``scenario`` span on the active
@@ -578,6 +591,8 @@ class ExperimentRunner:
         records: list[Optional[RunRecord]] = [None] * len(tasks)
         fingerprints: dict[int, str] = {}
         run_tasks: Sequence[RunTask] = tasks
+        flushed = [0]
+        on_record = None
         if active_store is not None:
             # Lazy import: repro.store imports this module at package
             # import time, so the reverse edge must not run at load.
@@ -595,6 +610,16 @@ class ExperimentRunner:
                 else:
                     missing.append(task)
             run_tasks = tuple(missing)
+
+            def on_record(index: int, record: RunRecord) -> None:
+                # Flush each fresh ok record the moment it exists: a
+                # SIGKILL mid-grid then loses only the in-flight cells,
+                # and the requeued job's retry dedups the rest.
+                if record.ok:
+                    flushed[0] += active_store.put_records(
+                        [(fingerprints[index], record)]
+                    )
+
         hit_count = len(tasks) - len(run_tasks)
         if progress is not None and hit_count:
             progress(hit_count, len(tasks))
@@ -615,7 +640,7 @@ class ExperimentRunner:
                 records, stats = self._run_parallel(
                     spec, run_tasks, processes, progress,
                     records=records, done=hit_count, total=len(tasks),
-                    trace_root=trace_root,
+                    trace_root=trace_root, on_record=on_record,
                 )
             except (OSError, PermissionError):
                 # Sandboxes without working process pools: fall back for
@@ -629,18 +654,14 @@ class ExperimentRunner:
             records, stats = self._run_serial(
                 spec, run_tasks, progress,
                 records=records, done=hit_count, total=len(tasks),
+                on_record=on_record,
             )
         elapsed = time.perf_counter() - start
         if active_store is not None:
             stats["store"] = {
                 "hits": hit_count,
                 "misses": len(run_tasks),
-                "stored": active_store.put_records(
-                    (fingerprints[task.index], records[task.index])
-                    for task in run_tasks
-                    if records[task.index] is not None
-                    and records[task.index].ok
-                ),
+                "stored": flushed[0],
             }
         stats["pool"] = {
             "used": use_parallel,
@@ -709,13 +730,15 @@ class ExperimentRunner:
         records: Optional[list] = None,
         done: int = 0,
         total: Optional[int] = None,
+        on_record: Optional[Callable[[int, RunRecord], None]] = None,
     ) -> tuple[list[RunRecord], dict]:
         """Execute ``tasks``, placing each record at its grid index.
 
         ``records``/``done``/``total`` let a store-aware ``run()`` hand in
         a grid-sized list pre-filled with store hits: the subset executed
         here still lands at ``task.index``, and progress continues from
-        the hits already reported.
+        the hits already reported. ``on_record`` fires once per freshly
+        executed cell (the store's incremental flush hook).
         """
         if records is None:
             records = [None] * len(tasks)
@@ -724,10 +747,13 @@ class ExperimentRunner:
         phases = [0.0, 0.0, 0.0]
         before = (self._cache.hits, self._cache.misses)
         for task in tasks:
-            records[task.index] = execute_task(
+            record = execute_task(
                 spec, task, self.timeout_s,
                 cache=self._cache, phases=phases,
             )
+            records[task.index] = record
+            if on_record is not None:
+                on_record(task.index, record)
             done += 1
             if progress is not None:
                 progress(done, total)
@@ -755,6 +781,7 @@ class ExperimentRunner:
         done: int = 0,
         total: Optional[int] = None,
         trace_root: Optional[int] = None,
+        on_record: Optional[Callable[[int, RunRecord], None]] = None,
     ) -> tuple[list[RunRecord], dict]:
         # Never fork more workers than the grid has cells (but at least 2
         # — a 1-worker "pool" is just slower serial).
@@ -777,6 +804,8 @@ class ExperimentRunner:
             _pool_worker, payloads, chunksize=chunksize
         ):
             records[index] = record
+            if on_record is not None:
+                on_record(index, record)
             phases[0] += cell_stats[0]
             phases[1] += cell_stats[1]
             phases[2] += cell_stats[2]

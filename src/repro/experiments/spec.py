@@ -16,7 +16,14 @@ import json
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from repro.errors import ExperimentError, NetError, SimulationError, SpecError
+from repro.errors import (
+    ExperimentError,
+    FaultError,
+    NetError,
+    SimulationError,
+    SpecError,
+)
+from repro.faults.plan import fault_from_name
 from repro.net.latency import latency_from_name
 from repro.sim.timing import timing_from_name
 
@@ -58,7 +65,7 @@ class ScenarioSpec:
     """One declarative experiment: a named grid of runs.
 
     The grid is the cross product ``games × timings × schedulers ×
-    deviations × seeds`` — except for ``r1`` (synchronous by construction:
+    deviations × faults × seeds`` — except for ``r1`` (synchronous by construction:
     no scheduler or timing grid, honest only; ``games × seeds``) and
     ``raw-game`` (one evaluation per entry of ``action_profiles``). Timing
     names are resolved through :func:`repro.sim.timing.timing_from_name`
@@ -102,6 +109,15 @@ class ScenarioSpec:
     ``gst-<pre>-<post>@<t>``). Must stay ``zero`` for ``runtime="sim"`` —
     the kernel models delay through ``timings`` instead."""
 
+    faults: tuple[str, ...] = ("none",)
+    """Fault-plan axis, by :func:`repro.faults.plan.fault_from_name` name
+    (``none``, ``crash@p<pid>s<step>``, ``drop-<p>``, ``dup-<p>``,
+    ``partition@{<pids>}t<start>h<heal>``,
+    ``crash-restart@p<pid>s<step>r<restart>``, ``corrupt-tcp-<p>``, and
+    ``+``-joined compounds). The grid crosses it with the other axes, so
+    one scenario can sweep a protocol across fault intensities the way it
+    sweeps schedulers."""
+
     step_limit: Optional[int] = None
     timeout_s: Optional[float] = None
     record_payloads: bool = False
@@ -112,6 +128,7 @@ class ScenarioSpec:
         object.__setattr__(self, "timings", _tuplize(self.timings))
         object.__setattr__(self, "schedulers", _tuplize(self.schedulers))
         object.__setattr__(self, "deviations", _tuplize(self.deviations))
+        object.__setattr__(self, "faults", _tuplize(self.faults))
         object.__setattr__(self, "type_profile", _tuplize(self.type_profile))
         object.__setattr__(self, "action_profiles", _tuplize(self.action_profiles))
         for timing in self.timings:
@@ -154,11 +171,25 @@ class ScenarioSpec:
                     "timing models belong to the simulated kernel; net "
                     "runs take a latency model instead"
                 )
+        for fault in self.faults:
+            try:
+                fault_from_name(fault)
+            except FaultError as exc:
+                raise ExperimentError(str(exc)) from None
+        if self.faults != ("none",) and self.theorem in ("r1", "raw-game"):
+            raise ExperimentError(
+                f"theorem {self.theorem!r} has no asynchronous message "
+                f"schedule to inject faults into; drop the faults axis"
+            )
         if self.seed_count < 1:
             raise ExperimentError("seed_count must be >= 1")
         if not self.timings or not self.schedulers or not self.deviations:
             raise ExperimentError(
                 "timings, schedulers and deviations must be non-empty"
+            )
+        if not self.faults:
+            raise ExperimentError(
+                "faults must be non-empty (use ('none',) for fault-free)"
             )
         if self.theorem == "raw-game" and not self.action_profiles:
             raise ExperimentError("raw-game scenarios need action_profiles")
@@ -203,6 +234,7 @@ class ScenarioSpec:
             * len(self.timings)
             * len(self.schedulers)
             * len(self.deviations)
+            * len(self.faults)
             * self.seed_count
         )
 

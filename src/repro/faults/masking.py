@@ -1,0 +1,268 @@
+"""The masking oracle: injected failures the protocol must absorb.
+
+The paper's resilience claims are *masking* claims. Theorem 4.1's
+cheap-talk protocol tolerates up to ``k + t`` arbitrary deviators, so a
+fortiori it tolerates that many *crashes*: the surviving honest players
+must produce exactly the actions and payoffs they produce in a fault-free
+run. The Section 6.4 mediator game tolerates up to ``k`` players
+outputting ⊥ (its payoff table is flat in up-to-``k`` ⊥s) — but crashing
+the *mediator* silences everyone, the single point of failure cheap talk
+exists to remove.
+
+This module turns those claims into an executable check. For a scenario
+whose ``faults`` axis lists fault plans alongside ``"none"``, the oracle
+runs the grid once and compares, cell by cell, the **honest** players'
+records under each plan against the fault-free leg:
+
+* a plan **masks** when every honest player's action and payoff is
+  byte-identical to the baseline (crashed players are excluded — their
+  own records are *supposed* to change);
+* a plan **breaks** when any honest cell differs.
+
+Plans on the scenario's axis are expected to mask. :data:`BREAKING_PLANS`
+holds the curated over-budget plans — ``k + t + 1`` crashes for Thm 4.1,
+the mediator crash and the ``k + 1``-th ⊥ for Sec 6.4 — that are expected
+to break; a "resilience" claim whose budget cannot be exceeded is not
+tight, it is vacuous. ``repro faults check`` runs both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.errors import FaultError
+from repro.faults.plan import FaultPlan, fault_from_name
+
+#: Scenario names `repro faults check` runs by default, mapped to the
+#: over-budget plans that must break them (tightness direction).
+BREAKING_PLANS: dict[str, tuple[str, ...]] = {
+    # k + t = 2 crashes mask (they are on the scenario's axis);
+    # a third crash exceeds the Thm 4.1 budget and flips the whole
+    # consensus to the default move.
+    "faultcheck-thm41": ("crash@p0s5+crash@p1s5+crash@p8s9",),
+    # The mediator (pid n = 7) is the single point of failure: crashing
+    # it silences every player. And the Sec 6.4 payoff table only
+    # absorbs up to k = 2 ⊥s — a third crashed player drags every
+    # honest payoff from 2.0 to 1.1. Even benign 5% message loss breaks
+    # the mediator game (it has no retransmission layer), while the
+    # same plan masks on the cheap-talk grid.
+    "faultcheck-sec64": (
+        "crash@p7s0",
+        "crash@p0s5+crash@p1s5+crash@p2s5",
+        "drop-0.05",
+    ),
+}
+
+
+def crash_budget(spec) -> int:
+    """How many permanent player crashes the spec's claim absorbs.
+
+    Cheap-talk theorems tolerate ``k + t`` arbitrary deviators (Thms
+    4.1–4.5), so that many crashes must mask. The mediator game's
+    Sec 6.4 payoff design is flat in up to ``k`` ⊥-outputs, so ``k``
+    player crashes must mask — provided the mediator itself survives.
+    """
+    if spec.theorem in ("4.1", "4.2", "4.4", "4.5"):
+        return spec.k + spec.t
+    if spec.theorem == "mediator":
+        return spec.k
+    return 0
+
+
+def crashed_players(plan: Union[str, FaultPlan], n: int) -> tuple[int, ...]:
+    """Player pids (< n) a plan permanently crashes.
+
+    Crash-restart targets recover and are held to the honest standard;
+    a crashed *mediator* (pid >= n) is not a player and never appears in
+    action/payoff tuples, so it is excluded here too (its failure shows
+    up as honest-player breakage instead).
+    """
+    if isinstance(plan, str):
+        plan = fault_from_name(plan)
+    return tuple(
+        pid for pid, crash in sorted(plan.crashes.items())
+        if crash.restart is None and pid < n
+    )
+
+
+@dataclass(frozen=True)
+class CellMismatch:
+    """One honest-player divergence between a faulty and fault-free cell."""
+
+    scheduler: str
+    seed: int
+    timing: str
+    field: str
+    """``"actions"``, ``"payoffs"``, or ``"outcome"`` (ok-flag flip)."""
+    pid: Optional[int]
+    baseline: object
+    observed: object
+
+    def describe(self) -> str:
+        where = f"{self.scheduler}/seed{self.seed}"
+        if self.pid is not None:
+            where += f"/p{self.pid}"
+        return (
+            f"{where}: {self.field} {self.baseline!r} -> {self.observed!r}"
+        )
+
+
+@dataclass(frozen=True)
+class PlanReport:
+    """The oracle's verdict on one fault plan over one scenario grid."""
+
+    scenario: str
+    plan: str
+    expect: str
+    """``"mask"`` (within budget) or ``"break"`` (over budget)."""
+    crashed: tuple[int, ...]
+    budget: int
+    cells: int
+    mismatches: tuple[CellMismatch, ...]
+
+    @property
+    def masked(self) -> bool:
+        return not self.mismatches
+
+    @property
+    def ok(self) -> bool:
+        return self.masked if self.expect == "mask" else not self.masked
+
+    def describe(self) -> str:
+        verdict = "masked" if self.masked else "broke"
+        status = "ok" if self.ok else "FAIL"
+        return (
+            f"[{status}] {self.scenario}: {self.plan} {verdict} "
+            f"(expected {self.expect}, {len(self.crashed)} crash(es), "
+            f"budget {self.budget}, {self.cells} cell(s))"
+        )
+
+
+@dataclass(frozen=True)
+class MaskingResult:
+    """All plan verdicts for one scenario."""
+
+    scenario: str
+    reports: tuple[PlanReport, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.reports)
+
+
+def _cell_key(record) -> tuple:
+    return (
+        record.game, record.timing, record.scheduler, record.deviation,
+        record.runtime, record.latency, record.seed,
+    )
+
+
+def _compare_cell(baseline, faulty, honest) -> list[CellMismatch]:
+    """Honest-player mismatches of one faulty cell vs. its baseline."""
+
+    def mismatch(field, pid, base_value, seen_value):
+        return CellMismatch(
+            scheduler=baseline.scheduler, seed=baseline.seed,
+            timing=baseline.timing, field=field, pid=pid,
+            baseline=base_value, observed=seen_value,
+        )
+
+    if faulty.ok != baseline.ok:
+        return [mismatch(
+            "outcome", None,
+            baseline.error or "ok", faulty.error or faulty.timed_out,
+        )]
+    out = []
+    for field in ("actions", "payoffs"):
+        base_values = getattr(baseline, field)
+        seen_values = getattr(faulty, field)
+        for pid in honest:
+            if pid >= len(base_values) or pid >= len(seen_values):
+                out.append(mismatch(field, pid, "present", "missing"))
+                continue
+            if base_values[pid] != seen_values[pid]:
+                out.append(
+                    mismatch(field, pid, base_values[pid], seen_values[pid])
+                )
+    return out
+
+
+def check_plans(spec, baseline_records, plan_records, plan: str,
+                expect: str) -> PlanReport:
+    """Judge one plan's records against the fault-free baseline records."""
+    crashed = crashed_players(plan, spec.n)
+    honest = [pid for pid in range(spec.n) if pid not in crashed]
+    base_by_cell = {_cell_key(r): r for r in baseline_records}
+    mismatches = []
+    cells = 0
+    for record in plan_records:
+        key = _cell_key(record)
+        base = base_by_cell.get(key)
+        if base is None:
+            raise FaultError(
+                f"fault plan {plan!r} produced cell {key} with no "
+                f"fault-free twin — grids out of sync"
+            )
+        cells += 1
+        mismatches.extend(_compare_cell(base, record, honest))
+    if cells != len(base_by_cell):
+        raise FaultError(
+            f"fault plan {plan!r} covered {cells} cells but the baseline "
+            f"has {len(base_by_cell)} — grids out of sync"
+        )
+    return PlanReport(
+        scenario=spec.name, plan=plan, expect=expect,
+        crashed=crashed, budget=crash_budget(spec), cells=cells,
+        mismatches=tuple(mismatches),
+    )
+
+
+def check_scenario(scenario, breaking: Optional[tuple] = None,
+                   runner=None) -> MaskingResult:
+    """Run the masking oracle over one scenario.
+
+    ``scenario`` is a name or a :class:`ScenarioSpec` whose ``faults``
+    axis lists the plans expected to *mask* (plus ``"none"``). The whole
+    grid runs once; each plan's cells are compared to the fault-free leg.
+    ``breaking`` plans (default: :data:`BREAKING_PLANS` for the scenario
+    name) then each run as a one-plan grid and must *fail* to mask.
+    """
+    from repro.experiments.registry import get_scenario
+    from repro.experiments.runner import ExperimentRunner
+
+    spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    if breaking is None:
+        breaking = BREAKING_PLANS.get(spec.name, ())
+    if "none" not in spec.faults:
+        spec = spec.replace(faults=("none",) + spec.faults)
+    if runner is None:
+        runner = ExperimentRunner()
+
+    result = runner.run(spec)
+    by_plan: dict[str, list] = {}
+    for record in result.records:
+        by_plan.setdefault(record.faults, []).append(record)
+    baseline = by_plan.get("none", [])
+    if not baseline:
+        raise FaultError(
+            f"scenario {spec.name!r} produced no fault-free baseline leg"
+        )
+    reports = [
+        check_plans(spec, baseline, by_plan[plan], plan, expect="mask")
+        for plan in spec.faults if plan != "none"
+    ]
+    for plan in breaking:
+        broken = runner.run(spec.replace(faults=(plan,)))
+        reports.append(
+            check_plans(spec, baseline, list(broken.records), plan,
+                        expect="break")
+        )
+    return MaskingResult(scenario=spec.name, reports=tuple(reports))
+
+
+def run_faultcheck(names=None, runner=None) -> list[MaskingResult]:
+    """Run the oracle over the faultcheck scenarios (CLI entry point)."""
+    if names is None:
+        names = sorted(BREAKING_PLANS)
+    return [check_scenario(name, runner=runner) for name in names]

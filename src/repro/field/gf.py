@@ -84,6 +84,21 @@ class GF:
     def __repr__(self) -> str:
         return f"GF({self.p})"
 
+    # -- copying / pickling -------------------------------------------------
+    # Fields are interned singletons and coercion checks ``field is self``,
+    # so every copy path must hand back the canonical instance for ``p``
+    # (deepcopying a process snapshot for crash-restart, pickling payloads
+    # for the TCP transport).
+
+    def __copy__(self) -> "GF":
+        return self
+
+    def __deepcopy__(self, memo) -> "GF":
+        return self
+
+    def __reduce__(self):
+        return (GF, (self.p,))
+
 
 class GFElement:
     """An immutable element of a :class:`GF` field."""
@@ -186,3 +201,17 @@ class GFElement:
 
     def __repr__(self) -> str:
         return f"{self.value}@GF({self.field.p})"
+
+    # -- copying / pickling -------------------------------------------------
+    # Immutable value: copies return self; pickling rebuilds through the
+    # constructor so ``field`` re-interns instead of tripping the
+    # slots-and-immutability guard in ``__setattr__``.
+
+    def __copy__(self) -> "GFElement":
+        return self
+
+    def __deepcopy__(self, memo) -> "GFElement":
+        return self
+
+    def __reduce__(self):
+        return (GFElement, (self.field, self.value))

@@ -309,3 +309,73 @@ class MutableDefaultRule(Rule):
                         f"instance is shared across every call; use None "
                         f"and construct it inside",
                     )
+
+
+@register_rule
+class SwallowedExceptionRule(Rule):
+    """No silently discarded exceptions in the substrate/service packages."""
+
+    name = "swallowed-exception"
+    description = (
+        "a bare `except:` or an `except Exception:` whose body does "
+        "nothing silently discards failures — in the simulation kernel, "
+        "the net substrate, the service, and the store that turns a "
+        "crash the fault-injection layer should surface (or the orphan "
+        "scanner should requeue) into a wrong answer; catch the narrow "
+        "exception you can actually handle, or suppress with a "
+        "justification for the rare deliberate sink"
+    )
+    packages = ("sim", "net", "service", "store")
+
+    _BROAD = ("Exception", "BaseException")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield module.finding(
+                    self, node,
+                    "bare `except:` catches everything including "
+                    "KeyboardInterrupt/SystemExit and hides the failure; "
+                    "name the exception type",
+                )
+                continue
+            broad = self._broad_name(node.type)
+            if broad is not None and self._is_noop(node.body):
+                yield module.finding(
+                    self, node,
+                    f"`except {broad}` with a do-nothing body swallows "
+                    f"every failure silently; handle it, re-raise, or "
+                    f"narrow the type",
+                )
+
+    @classmethod
+    def _broad_name(cls, type_node: ast.AST):
+        """The broad exception name caught, or None for narrow catches."""
+        candidates = (
+            type_node.elts if isinstance(type_node, ast.Tuple)
+            else [type_node]
+        )
+        for candidate in candidates:
+            name = (
+                candidate.id if isinstance(candidate, ast.Name)
+                else candidate.attr if isinstance(candidate, ast.Attribute)
+                else None
+            )
+            if name in cls._BROAD:
+                return name
+        return None
+
+    @staticmethod
+    def _is_noop(body: list) -> bool:
+        """True when a handler body does nothing observable."""
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, ast.Constant
+            ):
+                continue  # docstring or `...`
+            return False
+        return True

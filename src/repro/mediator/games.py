@@ -102,6 +102,7 @@ class MediatorGame:
         record_trace: bool = True,
         runtime: str = "sim",
         latency: str = "zero",
+        faults: Any = None,
     ) -> MediatorRun:
         types = tuple(types)
         processes = self.processes(types, deviations)
@@ -115,6 +116,7 @@ class MediatorGame:
                 record_payloads=record_payloads,
                 timing=timing,
                 record_trace=record_trace,
+                faults=faults,
             )
         else:
             from repro.net.runtime import NetRuntime
@@ -128,6 +130,7 @@ class MediatorGame:
                 record_payloads=record_payloads,
                 record_trace=record_trace,
                 transport="tcp" if runtime == "net-tcp" else "memory",
+                faults=faults,
             )
         result = engine.run()
         actions = self.resolve_actions(types, result)

@@ -33,6 +33,7 @@ from contextlib import ExitStack
 from typing import Any, Optional, Union
 
 from repro.errors import NetError, SimulationError, StepLimitExceeded
+from repro.faults.injector import injector_for
 from repro.net.latency import LatencyModel, latency_from_name
 from repro.net.router import MemoryTransport, Router
 from repro.obs.metrics import registry as obs_registry
@@ -70,6 +71,7 @@ class NetRuntime:
         transport: str = "memory",
         time_scale: float = 0.0005,
         idle_timeout_s: float = 30.0,
+        faults: Any = None,
     ) -> None:
         if not processes:
             raise SimulationError("need at least one process")
@@ -91,6 +93,7 @@ class NetRuntime:
         self.transport_name = transport
         self._time_scale = time_scale
         self._idle_timeout_s = idle_timeout_s
+        self._faults = injector_for(faults)
 
         self.network = Network()
         self.trace = Trace(record_payloads=record_payloads)
@@ -128,6 +131,11 @@ class NetRuntime:
     ) -> None:
         if recipient not in self.processes:
             raise SimulationError(f"send to unknown process {recipient}")
+        faults = self._faults
+        if faults is not None and faults.replaying:
+            # Inbox replay after a crash-restart: the pre-crash activations
+            # already put these sends on the wire.
+            return
         msg = self.network.send(sender, recipient, payload, self._step, batch)
         if self._trace_on:
             self.trace.add(
@@ -144,11 +152,57 @@ class NetRuntime:
         if recipient in self.halted:
             self.network.drop(msg.uid)
             return
+        if faults is not None:
+            fate, arg = faults.fate(sender, recipient, self._step)
+            if fate == "hold":
+                faults.hold(arg, self.network.withdraw(msg.uid))
+                return
+            if fate == "drop":
+                self.network.drop(msg.uid)
+                if self._trace_on:
+                    self.trace.add(
+                        TraceEvent(
+                            step=self._step,
+                            kind="drop",
+                            pid=recipient,
+                            sender=sender,
+                            recipient=recipient,
+                            uid=msg.uid,
+                        )
+                    )
+                return
+            copies = arg
+        else:
+            copies = 1
         self._transport.post(
             msg, self.latency.delay(sender, recipient, self._transport.now)
         )
+        for _ in range(copies - 1):
+            dup = self.network.send(
+                sender, recipient, payload, self._step, batch
+            )
+            if self._trace_on:
+                self.trace.add(
+                    TraceEvent(
+                        step=self._step,
+                        kind="send",
+                        pid=sender,
+                        sender=sender,
+                        recipient=recipient,
+                        uid=dup.uid,
+                        payload=(
+                            payload if self.trace.record_payloads else None
+                        ),
+                    )
+                )
+            self._transport.post(
+                dup, self.latency.delay(sender, recipient, self._transport.now)
+            )
 
     def _record_output(self, pid: int, action: Any) -> None:
+        if self._faults is not None and self._faults.replaying:
+            # The pre-crash activation already recorded this output.
+            return
         if pid in self.outputs:
             raise SimulationError(f"process {pid} attempted to output twice")
         self.outputs[pid] = action
@@ -190,11 +244,16 @@ class NetRuntime:
             return TcpTransport(
                 time_scale=self._time_scale,
                 idle_timeout_s=self._idle_timeout_s,
+                seed=self.seed,
+                faults=self._faults,
             )
         return MemoryTransport()
 
     async def _run(self) -> RunResult:
         self.latency.reset(self.seed)
+        faults = self._faults
+        if faults is not None:
+            faults.reset(self.seed, self.processes)
         self._transport = transport = self._make_transport()
         self._router = router = Router(self.processes)
         metrics = obs_registry()
@@ -221,10 +280,23 @@ class NetRuntime:
                         break
                     if self.halted >= all_pids:
                         break
+                    if faults is not None:
+                        due = faults.due_events(self._step)
+                        if due:
+                            await self._apply_fault_events(due)
+                            if self.halted >= all_pids:
+                                break
                     delivery = await transport.next_delivery(self.network)
                     if delivery is None:
+                        if faults is not None and await self._advance_faults():
+                            continue
                         break  # quiesced: nothing left in flight
                     uid, override, observed_delay = delivery
+                    if self.network.get(uid) is None:
+                        # Withdrawn while in flight (recipient crashed):
+                        # the frame arrived but the message no longer
+                        # exists — the injector holds or dropped it.
+                        continue
                     await self._deliver(
                         uid, override, router, metrics, observed_delay
                     )
@@ -252,6 +324,99 @@ class NetRuntime:
             messages_dropped=self.network.total_dropped,
             env_messages=self._env_sent,
         )
+
+    # -- fault application (mirrors the kernel's, plus socket lifecycles) ----
+
+    async def _apply_fault_events(self, events) -> None:
+        faults = self._faults
+        for event in events:
+            if event.kind == "crash":
+                await self._apply_crash(event.pid)
+            elif event.kind == "restart":
+                await self._apply_restart(event.pid)
+            else:  # heal
+                faults.mark_healed(event.index)
+                self._release_and_post(("heal", event.index))
+
+    async def _apply_crash(self, pid: int) -> None:
+        faults = self._faults
+        if pid in self.halted:
+            return  # halted on its own before the fault arrived
+        if self._trace_on:
+            self.trace.add(TraceEvent(step=self._step, kind="crash", pid=pid))
+        kill = getattr(self._transport, "kill_node", None)
+        if kill is not None:
+            await kill(pid)
+        if faults.is_restart_target(pid):
+            faults.go_down(pid)
+            for msg in self.network.withdraw_to(pid):
+                faults.hold(("restart", pid), msg)
+        else:
+            self._record_halt(pid)
+
+    async def _apply_restart(self, pid: int) -> None:
+        """Same recovery semantics as the kernel: pristine copy, inbox
+        replay with sends/outputs suppressed, held messages reposted."""
+        faults = self._faults
+        process = faults.restore(pid)
+        if process is None:
+            return  # the crash never fired; nothing to recover
+        self.processes[pid] = process
+        self.started.discard(pid)
+        if self._trace_on:
+            self.trace.add(
+                TraceEvent(step=self._step, kind="restart", pid=pid)
+            )
+        revive = getattr(self._transport, "revive_node", None)
+        if revive is not None:
+            await revive(pid)
+        faults.replaying = True
+        try:
+            for sender, payload in faults.inbox_log.get(pid, ()):
+                if pid in self.halted:
+                    break
+                batch = self.network.new_batch()
+                ctx = self._context(pid, batch)
+                if pid not in self.started:
+                    self.started.add(pid)
+                    process.on_start(ctx)
+                if payload == START_SIGNAL and sender == ENVIRONMENT_PID:
+                    continue
+                process.on_message(ctx, sender, payload)
+        finally:
+            faults.replaying = False
+        if pid in self.halted:
+            faults.release(("restart", pid))
+            return  # replay re-halted it; its held messages die with it
+        self._release_and_post(("restart", pid))
+
+    def _release_and_post(self, key: tuple) -> None:
+        """Reinstate held messages and put them back on the wire."""
+        released = self._faults.release(key)
+        if not released:
+            return
+        self.network.reinstate(released)
+        stale = {m.recipient for m in released} & self.halted
+        if stale:
+            self.network.discard_to(stale)
+        for msg in sorted(released, key=lambda m: m.uid):
+            if msg.recipient in stale:
+                continue
+            self._transport.post(
+                msg,
+                self.latency.delay(
+                    msg.sender, msg.recipient, self._transport.now
+                ),
+            )
+
+    async def _advance_faults(self) -> bool:
+        """Quiesce pull-forward: fire the earliest pending recovery when
+        nothing is left in flight (crashes never fire early)."""
+        event = self._faults.pop_recovery()
+        if event is None:
+            return False
+        await self._apply_fault_events([event])
+        return True
 
     # -- internals -----------------------------------------------------------
 
@@ -293,6 +458,8 @@ class NetRuntime:
             )
         if msg.recipient not in self.halted:
             payload = override[0] if override else msg.payload
+            if self._faults is not None:
+                self._faults.log_delivery(msg.recipient, msg.sender, payload)
             await router.dispatch(msg.recipient, (msg, payload))
         self._observe_delivery(metrics, msg, observed_delay)
 

@@ -54,6 +54,11 @@ class JobSpec:
     ts: Optional[tuple] = None
     priority: int = 10
     description: str = ""
+    max_attempts: int = 3
+    """How many executions this job may consume before the server marks
+    it failed for good — counting crashed attempts (the orphan scan
+    requeues a job whose server died mid-run) as well as retried errors.
+    ``1`` means fail fast."""
 
     def validate(self) -> "JobSpec":
         if self.kind not in JOB_KINDS:
@@ -75,6 +80,10 @@ class JobSpec:
                 f"priority must be an int in 0..{MAX_PRIORITY}, "
                 f"got {self.priority!r}"
             )
+        if not isinstance(self.max_attempts, int) or self.max_attempts < 1:
+            raise ServiceError(
+                f"max_attempts must be an int >= 1, got {self.max_attempts!r}"
+            )
         return self
 
     @property
@@ -95,6 +104,7 @@ class JobSpec:
             "ts": self.ts,
             "priority": self.priority,
             "description": self.description,
+            "max_attempts": self.max_attempts,
         }
 
     @classmethod
@@ -141,6 +151,13 @@ class JobStatus:
     step — so a reader can tell a *stuck* job (stale heartbeat) from a
     *slow* one (fresh heartbeat, ``done`` unchanged). Both default to
     empty, so status documents written by older servers still parse.
+
+    ``attempts``/``max_attempts`` are the crash-safety ledger: the server
+    bumps ``attempts`` each time it starts executing the job, and a job
+    that dies with its server (stale heartbeat, ticket claimed) or fails
+    with an error is requeued until the budget is spent. The defaults —
+    0 of 1 — make status documents from pre-retry servers parse as
+    single-attempt jobs.
     """
 
     id: str
@@ -157,6 +174,8 @@ class JobStatus:
     stats: dict = field(default_factory=dict)
     heartbeat_at: Optional[float] = None
     phase: str = ""
+    attempts: int = 0
+    max_attempts: int = 1
 
     @property
     def finished(self) -> bool:
@@ -181,6 +200,8 @@ class JobStatus:
             "stats": self.stats,
             "heartbeat_at": self.heartbeat_at,
             "phase": self.phase,
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
         }
 
     @classmethod

@@ -16,6 +16,19 @@ progress callback — so a running *scenario* aborts between cells, while
 audit/frontier jobs (whose engine exposes no callback) only honor
 cancellation observed before they start.
 
+Crash safety: every execution bumps ``attempts``, and an attempt felled
+by an *unexpected* error with budget left goes back on the queue under a
+seeded exponential backoff (the retry ticket's due-timestamp). Domain
+errors (:class:`~repro.errors.ReproError` — unknown scenarios, invalid
+specs) are deterministic, so retrying cannot help: they fail the job
+immediately without burning the budget. At startup
+:meth:`JobServer.recover_orphans` scans for jobs a dead server left
+claimed — ticket in the job dir, non-terminal state, heartbeat at least
+``orphan_after_s`` stale — and requeues them the same way, so a SIGKILL
+mid-job costs one attempt, not the job. The runner flushes each finished
+cell to the store as it completes, which is what makes the replayed
+attempt cheap: the re-run dedups every cell the dead server finished.
+
 While a job runs, all ``status.json`` writes flow through one
 :class:`_StatusStream`: it serializes the two concurrent writers (the
 progress callback and a periodic heartbeat thread), stamps
@@ -40,6 +53,7 @@ from repro.obs.metrics import registry as obs_registry
 from repro.obs.tracing import span as obs_span
 from repro.service.jobs import JobSpec, JobStatus
 from repro.service.spool import Spool
+from repro.utils.rng import RngTree
 
 
 class JobCancelled(Exception):
@@ -115,11 +129,19 @@ class JobServer:
         timeout_s: Optional[float] = None,
         poll_s: float = 0.2,
         status_interval_s: float = 0.2,
+        orphan_after_s: float = 10.0,
+        retry_base_s: float = 0.5,
+        retry_cap_s: float = 30.0,
     ) -> None:
         self.spool = spool
         self.store = store
         self.poll_s = poll_s
         self.status_interval_s = status_interval_s
+        self.orphan_after_s = orphan_after_s
+        """A claimed, non-terminal job whose heartbeat is older than this
+        is treated as orphaned by a dead server and requeued at startup."""
+        self.retry_base_s = retry_base_s
+        self.retry_cap_s = retry_cap_s
         self._runner = ExperimentRunner(
             parallel=parallel,
             processes=processes,
@@ -153,6 +175,7 @@ class JobServer:
         """
         served = 0
         idle_since = time.monotonic()
+        self.recover_orphans()
         queue_depth = obs_registry().gauge(
             "repro_service_queue_depth", "tickets waiting in the spool queue"
         )
@@ -179,6 +202,113 @@ class JobServer:
             self.run_job(job_id)
         return job_id
 
+    # -- crash recovery ------------------------------------------------------
+
+    def recover_orphans(self) -> list[str]:
+        """Requeue jobs a dead server left claimed; returns their ids.
+
+        An orphan is a job whose ticket was claimed, whose state never
+        reached a terminal one, and whose heartbeat is at least
+        ``orphan_after_s`` stale — i.e. the server executing it stopped
+        writing status and is gone (a fresh heartbeat means some *live*
+        server owns it, so it is left alone). Orphans with attempt
+        budget left go back on the queue via the atomic ticket rename;
+        exhausted ones are marked failed so they stop haunting the queue.
+        """
+        recovered = []
+        now = time.time()
+        for job_id in self.spool.claimed_job_ids():
+            try:
+                status = self.spool.read_status(job_id)
+            except ServiceError:
+                continue
+            if status.finished:
+                continue
+            last_sign = (
+                status.heartbeat_at or status.started_at or status.submitted_at
+            )
+            age = now - last_sign
+            if age < self.orphan_after_s:
+                continue
+            if status.attempts >= status.max_attempts:
+                self.spool.append_log(
+                    job_id,
+                    f"orphaned (heartbeat {age:.1f}s stale) with no "
+                    f"attempts left ({status.attempts}/{status.max_attempts})",
+                )
+                self._finish(
+                    status, "failed",
+                    error="server died mid-job; attempt budget exhausted",
+                )
+                continue
+            if not self.spool.requeue(job_id):
+                continue  # another recovering server beat us to the rename
+            self.spool.write_status(
+                status.replace(state="queued", phase="", heartbeat_at=now)
+            )
+            self.spool.append_log(
+                job_id,
+                f"requeued: orphaned by a dead server (heartbeat "
+                f"{age:.1f}s stale, attempt "
+                f"{status.attempts}/{status.max_attempts} lost)",
+            )
+            obs_registry().counter(
+                "repro_service_requeues_total",
+                "orphaned jobs returned to the queue",
+            ).inc(reason="orphan")
+            recovered.append(job_id)
+        return recovered
+
+    def _retry_delay_s(self, job_id: str, attempts: int) -> float:
+        """Seeded exponential backoff: deterministic per (job, attempt)."""
+        rng = RngTree(0).child("service-retry", job_id, attempts).rng
+        delay = min(
+            self.retry_base_s * (2 ** max(attempts - 1, 0)),
+            self.retry_cap_s,
+        )
+        return delay * (0.5 + rng.random())
+
+    def _fail_or_retry(
+        self, stream: "_StatusStream", job_id: str, error: str
+    ) -> JobStatus:
+        """Terminal failure once the attempt budget is spent, else retry."""
+        status = stream.status
+        if status.attempts >= status.max_attempts:
+            self.spool.append_log(
+                job_id,
+                f"failed (attempt {status.attempts}/{status.max_attempts}, "
+                f"final): {error}",
+            )
+            return self._finish(status, "failed", error=error, stream=stream)
+        return self._retry(stream, job_id, error)
+
+    def _retry(
+        self, stream: "_StatusStream", job_id: str, error: str
+    ) -> JobStatus:
+        """Requeue a failed attempt with backoff (attempt budget permitting)."""
+        stream.close()
+        status = stream.status
+        delay_s = self._retry_delay_s(job_id, status.attempts)
+        if not self.spool.requeue(job_id, delay_s=delay_s):
+            return self._finish(
+                status, "failed",
+                error=f"{error} (requeue failed: ticket missing)",
+            )
+        status = status.replace(
+            state="queued", phase="", error=error, heartbeat_at=time.time()
+        )
+        self.spool.write_status(status)
+        self.spool.append_log(
+            job_id,
+            f"attempt {status.attempts}/{status.max_attempts} failed: "
+            f"{error}; retrying in {delay_s:.2f}s",
+        )
+        obs_registry().counter(
+            "repro_service_retries_total",
+            "failed attempts sent back to the queue with backoff",
+        ).inc()
+        return status
+
     # -- executing one job ---------------------------------------------------
 
     def run_job(self, job_id: str) -> JobStatus:
@@ -203,13 +333,18 @@ class JobServer:
         except ServiceError as exc:
             return self._finish(status, "failed", error=str(exc))
         status = status.replace(
-            state="running", started_at=claimed_at, phase="starting"
+            state="running", started_at=claimed_at, phase="starting",
+            attempts=status.attempts + 1,
         )
         stream = _StatusStream(spool, status, self.status_interval_s)
         stream.write()
         spool.append_log(
             job_id, f"started: {spec.kind} {spec.title!r}"
             + (f" — {spec.description}" if spec.description else "")
+            + (
+                f" (attempt {status.attempts}/{status.max_attempts})"
+                if status.attempts > 1 else ""
+            )
         )
         before = self.store.counters() if self.store is not None else None
         stream.start()
@@ -222,15 +357,14 @@ class JobServer:
             spool.append_log(job_id, "cancelled while running")
             return self._finish(stream.status, "cancelled", stream=stream)
         except ReproError as exc:
-            spool.append_log(job_id, f"failed: {exc}")
+            # Domain errors are deterministic — a retry would only
+            # replay the same failure, so fail terminally right away.
             return self._finish(
                 stream.status, "failed", error=str(exc), stream=stream
             )
         except Exception as exc:  # noqa: BLE001 — a job must not kill the daemon
-            message = f"{type(exc).__name__}: {exc}"
-            spool.append_log(job_id, f"failed: {message}")
-            return self._finish(
-                stream.status, "failed", error=message, stream=stream
+            return self._fail_or_retry(
+                stream, job_id, f"{type(exc).__name__}: {exc}"
             )
         if before is not None:
             after = self.store.counters()

@@ -22,7 +22,15 @@ and survives both sides crashing.
 Ticket names sort lexicographically into scheduling order: the priority
 byte pair is ``99 - priority`` (so *higher* priority sorts first) and the
 sequence number is the submission timestamp in nanoseconds (FIFO within
-a priority class).
+a priority class). A *retry* ticket carries a future timestamp — the
+seeded-backoff delay — and :meth:`Spool.claim_next` skips tickets whose
+time has not come, so a backoff never blocks the rest of the queue.
+
+Crash safety: claiming renames the ticket *into* the job directory, so a
+job whose server died mid-run is recognizable forever after — claimed
+ticket present, non-terminal state, stale heartbeat. :meth:`Spool.requeue`
+is the inverse rename, which is why a server restart can hand the job to
+the next claimant without inventing any new state.
 """
 
 from __future__ import annotations
@@ -136,6 +144,14 @@ class Spool:
             raise ServiceError(f"malformed queue ticket name {ticket!r}")
         return parts[2]
 
+    @staticmethod
+    def ticket_due_ns(ticket: str) -> int:
+        """The nanosecond timestamp before which a ticket is not claimable."""
+        parts = ticket.split("-", 2)
+        if len(parts) != 3 or not parts[1].isdigit():
+            raise ServiceError(f"malformed queue ticket name {ticket!r}")
+        return int(parts[1])
+
     # -- submission ----------------------------------------------------------
 
     def submit(self, spec: JobSpec) -> JobStatus:
@@ -152,6 +168,7 @@ class Spool:
             title=spec.title,
             priority=spec.priority,
             submitted_at=time.time(),
+            max_attempts=spec.max_attempts,
         )
         self.write_status(status)
         # The ticket lands last: a server never claims a job whose spec
@@ -235,9 +252,14 @@ class Spool:
         The claim is a rename of the ticket into the job directory —
         exactly one claimant can win it, and a client cancelling the same
         queued job (by removing the ticket) loses or wins the same race
-        cleanly.
+        cleanly. Retry tickets carry a future due-timestamp and are
+        skipped until it passes — backoff holds one job back, not the
+        queue.
         """
+        now_ns = time.time_ns()
         for ticket in self.queued_tickets():
+            if self.ticket_due_ns(ticket) > now_ns:
+                continue
             job_id = self.ticket_job_id(ticket)
             try:
                 os.rename(
@@ -258,6 +280,48 @@ class Spool:
             return False
         try:
             os.remove(os.path.join(self.queue_dir, ticket))
+        except FileNotFoundError:
+            return False
+        return True
+
+    # -- crash recovery ------------------------------------------------------
+
+    def claimed_ticket_path(self, job_id: str) -> str:
+        """Where a claimed job's ticket lives (the orphan marker)."""
+        return os.path.join(self.job_dir(job_id), "ticket")
+
+    def is_claimed(self, job_id: str) -> bool:
+        return os.path.exists(self.claimed_ticket_path(job_id))
+
+    def claimed_job_ids(self) -> list[str]:
+        """Jobs holding a claimed ticket — running, finished, or orphaned.
+
+        The claim rename leaves the ticket in the job directory for the
+        job's whole afterlife, so callers must cross-check the status
+        (non-terminal state + stale heartbeat) before treating an entry
+        here as an orphan.
+        """
+        return [job_id for job_id in self.job_ids() if self.is_claimed(job_id)]
+
+    def requeue(self, job_id: str, delay_s: float = 0.0) -> bool:
+        """Put a claimed job back on the queue; False if none was claimed.
+
+        The inverse of :meth:`claim_next`: the claimed ticket renames back
+        into ``queue/`` under a fresh sequence number — ``now + delay_s``,
+        so a backoff retry sleeps in the queue without holding anything
+        else up. Priority is preserved from the job's status.
+        """
+        status = self.read_status(job_id)
+        ticket = self._ticket_name(
+            status.priority,
+            time.time_ns() + int(delay_s * 1e9),
+            job_id,
+        )
+        try:
+            os.rename(
+                self.claimed_ticket_path(job_id),
+                os.path.join(self.queue_dir, ticket),
+            )
         except FileNotFoundError:
             return False
         return True

@@ -265,6 +265,49 @@ class Network:
             self.drop(uid)
         return len(uids)
 
+    # -- fault injection ----------------------------------------------------
+
+    def withdraw(self, uid: int) -> Message:
+        """Pull a message out of the pool without counting it delivered
+        or dropped — the fault injector holds it for later reinstatement
+        (partition cut, crashed-but-restartable recipient)."""
+        return self._remove(uid)
+
+    def withdraw_to(self, recipient: int) -> list[Message]:
+        """Withdraw every in-transit message addressed to ``recipient``."""
+        bucket = self._by_recipient.get(recipient)
+        if not bucket:
+            return []
+        return [self._remove(uid) for uid in list(bucket)]
+
+    def reinstate(self, messages: Iterable[Message]) -> None:
+        """Put previously withdrawn messages back into the pool.
+
+        Reinstated uids are older than anything sent since they were
+        withdrawn, so the master map and every touched bucket are
+        re-sorted to restore the ascending-uid iteration order that
+        :meth:`TransitView.min_uid` and the oldest-first queries rely on.
+        """
+        msgs = sorted(messages, key=lambda m: m.uid)
+        if not msgs:
+            return
+        for msg in msgs:
+            self._in_transit[msg.uid] = msg
+            self._by_recipient.setdefault(msg.recipient, {})[msg.uid] = msg
+            self._by_sender.setdefault(msg.sender, {})[msg.uid] = msg
+            self._by_batch.setdefault(msg.batch, {})[msg.uid] = msg
+            if msg.sender == msg.recipient:
+                count = self._self_counts.get(msg.sender, 0)
+                self._self_counts[msg.sender] = count + 1
+        self._in_transit = dict(sorted(self._in_transit.items()))
+        for msg in msgs:
+            by_r = self._by_recipient[msg.recipient]
+            self._by_recipient[msg.recipient] = dict(sorted(by_r.items()))
+            by_s = self._by_sender[msg.sender]
+            self._by_sender[msg.sender] = dict(sorted(by_s.items()))
+            by_b = self._by_batch[msg.batch]
+            self._by_batch[msg.batch] = dict(sorted(by_b.items()))
+
     # -- inspection --------------------------------------------------------
 
     def view(self) -> TransitView:

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.errors import SchedulerError, SimulationError, StepLimitExceeded
+from repro.faults.injector import injector_for
 from repro.sim.network import Message, Network, START_SIGNAL, TransitView
 from repro.sim.process import Context, Process
 from repro.sim.scheduler import Scheduler
@@ -94,6 +95,7 @@ class Runtime:
         timing: Optional[TimingModel] = None,
         rng_namespace: str = "proc",
         record_trace: bool = True,
+        faults: Any = None,
     ) -> None:
         if not processes:
             raise SimulationError("need at least one process")
@@ -105,6 +107,7 @@ class Runtime:
         self.mediator_pid = mediator_pid
         self.raise_on_step_limit = raise_on_step_limit
         self.rng_namespace = rng_namespace
+        self._faults = injector_for(faults)
 
         self.network = Network()
         # Pure Asynchronous timing has no-op observation hooks and an
@@ -157,6 +160,12 @@ class Runtime:
     def _send_from(self, sender: int, recipient: int, payload: Any, batch: int) -> None:
         if recipient not in self.processes:
             raise SimulationError(f"send to unknown process {recipient}")
+        faults = self._faults
+        if faults is not None and faults.replaying:
+            # Inbox replay after a crash-restart: the pre-crash activations
+            # already put these sends on the wire; re-sending would double
+            # every message the restarted node ever emitted.
+            return
         if sender == self.mediator_pid:
             self._mediator_batches.add(batch)
         msg = self.network.send(sender, recipient, payload, self._step, batch)
@@ -176,8 +185,51 @@ class Runtime:
             )
         if recipient in self.halted:
             self.network.drop(msg.uid)
+            return
+        if faults is None:
+            return
+        fate, arg = faults.fate(sender, recipient, self._step)
+        if fate == "hold":
+            faults.hold(arg, self.network.withdraw(msg.uid))
+        elif fate == "drop":
+            self.network.drop(msg.uid)
+            if self._trace_on:
+                self.trace.add(
+                    TraceEvent(
+                        step=self._step,
+                        kind="drop",
+                        pid=recipient,
+                        sender=sender,
+                        recipient=recipient,
+                        uid=msg.uid,
+                    )
+                )
+        elif arg > 1:
+            for _ in range(arg - 1):
+                dup = self.network.send(
+                    sender, recipient, payload, self._step, batch
+                )
+                if not self._timing_passive:
+                    self.timing.on_send(dup, self._step)
+                if self._trace_on:
+                    self.trace.add(
+                        TraceEvent(
+                            step=self._step,
+                            kind="send",
+                            pid=sender,
+                            sender=sender,
+                            recipient=recipient,
+                            uid=dup.uid,
+                            payload=(
+                                payload if self.trace.record_payloads else None
+                            ),
+                        )
+                    )
 
     def _record_output(self, pid: int, action: Any) -> None:
+        if self._faults is not None and self._faults.replaying:
+            # The pre-crash activation already recorded this output.
+            return
         if pid in self.outputs:
             raise SimulationError(f"process {pid} attempted to output twice")
         self.outputs[pid] = action
@@ -221,6 +273,9 @@ class Runtime:
     def run(self) -> RunResult:
         self.scheduler.reset(self.seed)
         self.timing.reset(self)
+        faults = self._faults
+        if faults is not None:
+            faults.reset(self.seed, self.processes)
         self._inject_start_signals()
         stopped_by_scheduler = False
         all_pids = set(self.processes)
@@ -242,6 +297,12 @@ class Runtime:
                 break
             if halted >= all_pids:
                 break
+            if faults is not None:
+                due = faults.due_events(self._step)
+                if due:
+                    self._apply_fault_events(due)
+                    if halted >= all_pids:
+                        break
 
             if timing_passive:
                 pool = network_view()
@@ -249,6 +310,8 @@ class Runtime:
                 pool = self.timing.eligible(self.network, self._step)
             if not len(pool):
                 if self.timing.advance(self):
+                    continue
+                if faults is not None and self._advance_faults():
                     continue
                 break  # quiesced: nothing deliverable, time cannot advance
 
@@ -302,6 +365,93 @@ class Runtime:
             messages_dropped=self.network.total_dropped,
             env_messages=self._env_sent,
         )
+
+    # -- fault application ---------------------------------------------------
+
+    def _apply_fault_events(self, events) -> None:
+        """Apply crash/restart/heal transitions whose step has arrived."""
+        faults = self._faults
+        for event in events:
+            if event.kind == "crash":
+                self._apply_crash(event.pid)
+            elif event.kind == "restart":
+                self._apply_restart(event.pid)
+            else:  # heal: reopen the cut, release what it held
+                faults.mark_healed(event.index)
+                released = faults.release(("heal", event.index))
+                self.network.reinstate(released)
+                stale = {m.recipient for m in released} & self.halted
+                if stale:
+                    self.network.discard_to(stale)
+
+    def _apply_crash(self, pid: int) -> None:
+        faults = self._faults
+        if pid in self.halted:
+            return  # halted on its own before the fault arrived
+        if self._trace_on:
+            self.trace.add(TraceEvent(step=self._step, kind="crash", pid=pid))
+        if faults.is_restart_target(pid):
+            # Down-but-restartable: in-flight and future messages to the
+            # pid are held (not dropped) so the restart can deliver them.
+            faults.go_down(pid)
+            for msg in self.network.withdraw_to(pid):
+                faults.hold(("restart", pid), msg)
+        else:
+            self._record_halt(pid)
+
+    def _apply_restart(self, pid: int) -> None:
+        """Install a pristine process copy and replay its logged inbox.
+
+        Replayed activations have their sends and outputs suppressed (the
+        pre-crash activations already performed them); messages held while
+        the pid was down are then reinstated into the pool. Replay re-draws
+        ``ctx.rng`` from the continuing per-pid stream, so only protocols
+        whose randomness derives from their own configuration (as the
+        cheap-talk players' does) recover bit-exactly.
+        """
+        faults = self._faults
+        process = faults.restore(pid)
+        if process is None:
+            return  # the crash never fired; nothing to recover
+        self.processes[pid] = process
+        self.started.discard(pid)
+        if self._trace_on:
+            self.trace.add(
+                TraceEvent(step=self._step, kind="restart", pid=pid)
+            )
+        faults.replaying = True
+        try:
+            for sender, payload in faults.inbox_log.get(pid, ()):
+                if pid in self.halted:
+                    break
+                batch = self.network.new_batch()
+                ctx = self._context(pid, batch)
+                if pid not in self.started:
+                    self.started.add(pid)
+                    process.on_start(ctx)
+                if payload == START_SIGNAL and sender == ENVIRONMENT_PID:
+                    continue
+                process.on_message(ctx, sender, payload)
+        finally:
+            faults.replaying = False
+        released = faults.release(("restart", pid))
+        if pid in self.halted:
+            return  # replay re-halted it; its held messages die with it
+        self.network.reinstate(released)
+
+    def _advance_faults(self) -> bool:
+        """Pull the earliest pending recovery forward when traffic drains.
+
+        Guarantees partitioned and crash-restart runs always quiesce: a
+        heal or restart scheduled beyond the run's natural length fires as
+        soon as nothing else can happen. Crashes never fire early — a crash
+        past quiescence simply does not happen.
+        """
+        event = self._faults.pop_recovery()
+        if event is None:
+            return False
+        self._apply_fault_events([event])
+        return True
 
     # -- internals -----------------------------------------------------------
 
@@ -395,6 +545,8 @@ class Runtime:
         pid = msg.recipient
         if pid in self.halted:
             return
+        if self._faults is not None:
+            self._faults.log_delivery(pid, msg.sender, msg.payload)
         process = self.processes[pid]
         self._current_batch = self.network.new_batch()
         ctx = self._context(pid, self._current_batch)

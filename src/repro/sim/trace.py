@@ -18,7 +18,8 @@ class TraceEvent:
     """One observable event in a run."""
 
     step: int
-    kind: str  # "start" | "send" | "deliver" | "drop" | "output" | "halt" | "tick" | "note"
+    kind: str  # "start" | "send" | "deliver" | "drop" | "output" | "halt"
+    # | "tick" | "note" | "crash" | "restart" (fault injection)
     pid: int
     sender: Optional[int] = None
     recipient: Optional[int] = None

@@ -34,13 +34,14 @@ from typing import Optional
 
 from repro.games.registry import FILE_GAME_PREFIX
 
-FINGERPRINT_VERSION = 2
+FINGERPRINT_VERSION = 3
 """Bump when the fingerprint layout changes: old store rows simply stop
 matching (and stay readable through the query API) instead of being
 served against a key that no longer means the same thing.
 
 Version history: 2 added the ``runtime``/``latency`` axes so net-substrate
-cells never dedup against simulated-kernel cells."""
+cells never dedup against simulated-kernel cells; 3 added the ``faults``
+axis so a faulty cell never dedups against its fault-free twin."""
 
 
 def canonical_json(data) -> str:
@@ -104,6 +105,7 @@ def run_fingerprint(spec, task) -> str:
         "timing": task.timing,
         "runtime": task.runtime,
         "latency": task.latency,
+        "faults": task.faults,
         "seed": task.seed,
         "type_profile": (
             list(spec.type_profile) if spec.type_profile is not None else None

@@ -1,0 +1,22 @@
+"""Seeded violations for the ``swallowed-exception`` rule."""
+
+
+def drain(queue):
+    try:
+        return queue.pop()
+    except:  # noqa: E722
+        pass
+
+
+def deliver(message, transport):
+    try:
+        transport.post(message)
+    except Exception:
+        pass
+
+
+def close(writer):
+    try:
+        writer.close()
+    except (OSError, Exception):
+        ...

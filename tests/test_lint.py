@@ -39,6 +39,7 @@ EXPECTED_BAD_FINDINGS = {
     "mutable-default": 4,
     "module-mutable-state": 3,
     "unpicklable-worker-payload": 2,
+    "swallowed-exception": 3,
 }
 
 

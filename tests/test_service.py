@@ -6,7 +6,14 @@ server lifecycle — including the dedup proof: a second identical
 submission does zero simulation work and returns byte-identical bytes.
 """
 
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
 import threading
+import time
 
 import pytest
 
@@ -271,3 +278,235 @@ class TestServer:
         assert done.state == "done"
         assert done.stats["result_hit"] is False
         assert "store" not in done.stats
+
+
+# -- crash safety: retries, orphan recovery, the SIGKILL drill ----------------
+
+class TestSpoolCrashRecovery:
+    def test_tickets_carry_a_due_timestamp(self, spool):
+        client = JobClient(spool)
+        status = client.submit(JobSpec(kind="scenario", spec=cheap_spec_dict()))
+        (ticket,) = spool.queued_tickets()
+        assert spool.ticket_job_id(ticket) == status.id
+        assert spool.ticket_due_ns(ticket) <= time.time_ns()
+        with pytest.raises(ServiceError):
+            spool.ticket_due_ns("garbage")
+
+    def test_claim_marks_and_requeue_restores(self, spool):
+        client = JobClient(spool)
+        client.submit(JobSpec(kind="scenario", spec=cheap_spec_dict()))
+        job_id = spool.claim_next()
+        assert spool.is_claimed(job_id)
+        assert spool.claimed_job_ids() == [job_id]
+        assert spool.queued_tickets() == []
+        assert spool.requeue(job_id)
+        assert not spool.is_claimed(job_id)
+        # Requeueing twice is idempotent: the second rename finds no
+        # claimed ticket (another recovering server won the race).
+        assert spool.requeue(job_id) is False
+        assert spool.claim_next() == job_id
+
+    def test_retry_tickets_wait_for_their_due_time(self, spool):
+        client = JobClient(spool)
+        client.submit(JobSpec(kind="scenario", spec=cheap_spec_dict()))
+        job_id = spool.claim_next()
+        assert spool.requeue(job_id, delay_s=60.0)
+        assert spool.queued_tickets()  # back in the queue...
+        assert spool.claim_next() is None  # ...but not claimable yet
+
+    def test_submit_stamps_the_attempt_budget(self, spool):
+        client = JobClient(spool)
+        queued = client.submit(
+            JobSpec(kind="scenario", spec=cheap_spec_dict(), max_attempts=5)
+        )
+        assert queued.attempts == 0
+        assert queued.max_attempts == 5
+
+    def test_old_status_documents_parse_as_single_attempt(self):
+        doc = JobStatus(
+            id="j1", state="queued", kind="scenario", title="x",
+            priority=0, submitted_at=1.0,
+        ).to_dict()
+        del doc["attempts"], doc["max_attempts"]
+        old = JobStatus.from_dict(doc)
+        assert old.attempts == 0
+        assert old.max_attempts == 1
+
+    def test_max_attempts_is_validated(self):
+        with pytest.raises(ServiceError, match="max_attempts"):
+            JobSpec(kind="scenario", name="x", max_attempts=0).validate()
+
+
+class TestServerCrashSafety:
+    def test_unexpected_errors_retry_until_the_budget_is_spent(
+        self, spool, store, monkeypatch
+    ):
+        client = JobClient(spool)
+        queued = client.submit(JobSpec(kind="scenario", spec=cheap_spec_dict()))
+        calls = []
+
+        def boom(self, job_id, spec, stream):
+            calls.append(job_id)
+            raise RuntimeError("transient blip")
+
+        monkeypatch.setattr(JobServer, "_execute", boom)
+        with JobServer(spool, store=store, retry_base_s=0.0) as srv:
+            assert srv.run_once() == queued.id
+            retried = client.status(queued.id)
+            assert retried.state == "queued"  # back on the queue
+            assert retried.attempts == 1
+            assert "transient blip" in retried.error
+            assert srv.run_once() == queued.id
+            assert srv.run_once() == queued.id
+            assert srv.run_once() is None  # the queue is drained
+        final = client.status(queued.id)
+        assert final.state == "failed"
+        assert final.attempts == final.max_attempts == 3
+        assert len(calls) == 3
+        logs = client.logs(queued.id)
+        assert "retrying in" in logs
+        assert "failed (attempt 3/3, final)" in logs
+
+    def test_domain_errors_fail_terminally_without_retries(
+        self, spool, server
+    ):
+        # An unknown scenario is deterministic: retrying replays the
+        # same failure, so the server must not burn the budget on it.
+        client = JobClient(spool)
+        bad = client.submit(JobSpec(kind="scenario", name="no-such"))
+        server.run_once()
+        failed = client.status(bad.id)
+        assert failed.state == "failed"
+        assert failed.attempts == 1
+
+    def test_retry_backoff_is_seeded_per_job_and_attempt(self, spool, store):
+        with JobServer(spool, store=store) as srv:
+            first = srv._retry_delay_s("job-x", 1)
+            assert first == srv._retry_delay_s("job-x", 1)  # deterministic
+            assert first != srv._retry_delay_s("job-x", 2)
+            assert first != srv._retry_delay_s("job-y", 1)
+            assert 0.25 <= first <= 0.75  # base 0.5s, jitter in [0.5, 1.5)
+            assert srv._retry_delay_s("job-x", 50) <= srv.retry_cap_s * 1.5
+
+    def _strand_running_job(self, spool, heartbeat_age_s):
+        client = JobClient(spool)
+        client.submit(JobSpec(kind="scenario", spec=cheap_spec_dict()))
+        job_id = spool.claim_next()
+        stamp = time.time() - heartbeat_age_s
+        spool.write_status(
+            spool.read_status(job_id).replace(
+                state="running", attempts=1, started_at=stamp,
+                heartbeat_at=stamp,
+            )
+        )
+        return client, job_id
+
+    def test_orphaned_job_is_requeued_and_completes(self, spool, store):
+        client, job_id = self._strand_running_job(spool, heartbeat_age_s=60.0)
+        with JobServer(spool, store=store, orphan_after_s=5.0) as srv:
+            assert srv.recover_orphans() == [job_id]
+            assert client.status(job_id).state == "queued"
+            assert srv.run_once() == job_id
+        final = client.status(job_id)
+        assert final.state == "done"
+        assert final.attempts == 2  # the lost attempt plus the replay
+        assert "requeued: orphaned by a dead server" in client.logs(job_id)
+
+    def test_fresh_heartbeats_are_left_alone(self, spool, store):
+        _, job_id = self._strand_running_job(spool, heartbeat_age_s=0.0)
+        with JobServer(spool, store=store, orphan_after_s=5.0) as srv:
+            assert srv.recover_orphans() == []
+        assert spool.is_claimed(job_id)  # a live server still owns it
+
+    def test_exhausted_orphans_fail_terminally(self, spool, store):
+        client, job_id = self._strand_running_job(spool, heartbeat_age_s=60.0)
+        spool.write_status(
+            spool.read_status(job_id).replace(attempts=3, max_attempts=3)
+        )
+        with JobServer(spool, store=store, orphan_after_s=5.0) as srv:
+            assert srv.recover_orphans() == []
+        failed = client.status(job_id)
+        assert failed.state == "failed"
+        assert "attempt budget exhausted" in failed.error
+
+
+class TestServerSigkillDrill:
+    """The whole crash-safety story, end to end, against real processes.
+
+    A server is SIGKILLed mid-grid; a second server must requeue the
+    orphan at startup and finish the job — with the store dedup counters
+    proving the dead server's finished cells were *not* re-simulated.
+    """
+
+    def _serve(self, spool_dir, store_path, *extra):
+        env = dict(os.environ)
+        src = pathlib.Path(__file__).resolve().parents[1] / "src"
+        env["PYTHONPATH"] = str(src)
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--spool", spool_dir, "--store", store_path,
+                "--poll", "0.05", *extra,
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    def test_sigkill_mid_job_costs_one_attempt_not_the_job(self, tmp_path):
+        spool_dir = str(tmp_path / "spool")
+        store_path = str(tmp_path / "store.sqlite")
+        spool = Spool(spool_dir)
+        client = JobClient(spool)
+        big = get_scenario("thm41-honest").replace(
+            name="thm41-honest-big", schedulers=("fifo",), seed_count=40
+        )
+        queued = client.submit(
+            JobSpec(kind="scenario", spec=big.to_dict())
+        )
+
+        victim = self._serve(spool_dir, store_path)
+        try:
+            deadline = time.time() + 60.0
+            while time.time() < deadline:
+                status = client.status(queued.id)
+                if status.state == "running" and 2 <= status.done:
+                    break
+                assert not status.finished, "job finished before the kill"
+                time.sleep(0.05)
+            else:
+                pytest.fail("server never reached mid-grid progress")
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=10.0)
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+        killed_at = client.status(queued.id)
+        assert not killed_at.finished
+        assert killed_at.attempts == 1
+        assert spool.is_claimed(queued.id)  # the orphan marker
+
+        time.sleep(1.5)  # let the dead server's heartbeat go stale
+        rescuer = self._serve(
+            spool_dir, store_path, "--orphan-after", "1", "--max-jobs", "1"
+        )
+        try:
+            _out, err = rescuer.communicate(timeout=120.0)
+        finally:
+            if rescuer.poll() is None:
+                rescuer.kill()
+        assert rescuer.returncode == 0, err
+
+        final = client.status(queued.id)
+        assert final.state == "done", final.error
+        assert final.attempts == 2
+        logs = client.logs(queued.id)
+        assert "requeued: orphaned by a dead server" in logs
+        # The dedup proof: the second attempt answered the dead
+        # server's finished cells from the store instead of re-running
+        # them, and simulated only the remainder.
+        hits = final.stats["store"]["hits"]
+        misses = final.stats["store"]["misses"]
+        assert hits >= killed_at.done > 0
+        assert hits + misses == 40
